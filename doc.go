@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Parallelizing
+// Training of Deep Generative Models on Massive Scientific Datasets"
+// (Jacobs et al., CLUSTER 2019): the LTFB tournament algorithm for training
+// GANs at scale, the LBANN-style training engine it extends, the
+// distributed in-memory data store, and simulated substitutes for the
+// hardware and data the paper used (the Lassen supercomputer, GPFS, and the
+// 10M-sample JAG ICF corpus).
+//
+// Start with README.md for the layout, DESIGN.md for the system inventory
+// and substitution rationale, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate every figure of the
+// paper's evaluation section; cmd/figures prints them as tables.
+package repro

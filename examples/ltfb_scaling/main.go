@@ -1,0 +1,42 @@
+// LTFB scaling example: runs the tournament algorithm with growing trainer
+// populations on a partitioned corpus (Figure 12's experiment) and compares
+// the final population against partitioned K-independent training
+// (Figure 13's experiment), all with real training over the in-process MPI
+// layer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	base := core.Figure12Config()
+	base.Rounds = 6 // shortened for the example; cmd/figures runs the full schedule
+
+	fmt.Println("figure 12 experiment: LTFB quality vs trainer count (equal per-trainer steps)")
+	tab, err := core.Figure12([]int{1, 2, 4}, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tab.Render())
+	fmt.Println("\n(values above 1 mean the population-best model beats the single-trainer baseline)")
+
+	fmt.Println("\nfigure 13 experiment: LTFB vs partitioned K-independent training")
+	cfg13 := core.Figure13Config()
+	cfg13.Rounds = 8 // shortened for the example; cmd/figures runs the full schedule
+	tab, err = core.Figure13([]int{2, 4}, cfg13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tab.Render())
+	fmt.Println("\n(advantage above 1 means LTFB generalizes better than K-independent)")
+
+	fmt.Println("\nmodelled strong scaling at paper scale (Figure 11):")
+	fmt.Print(core.Figure11Table().Render())
+	fmt.Println()
+	fmt.Print(core.HeadlineTable().Render())
+}

@@ -1,0 +1,66 @@
+// Package checkpoint persists model weights to disk and restores them —
+// LBANN's checkpoint/restart facility, which long LTFB campaigns on shared
+// machines rely on. A checkpoint stores the serialized weights of a set of
+// networks together with a step counter, so a training session (or a single
+// tournament winner) can resume where it stopped.
+//
+// Format: magic "CKP1" | uint64 step | network-set blob (nn.MarshalNetworks).
+// Files are written atomically (temp file + rename), so a crash mid-write
+// never corrupts the previous checkpoint.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/nn"
+)
+
+const magic = "CKP1"
+
+// Save writes the networks and step counter to path atomically.
+func Save(path string, step int64, nets []*nn.Network) error {
+	buf := []byte(magic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(step))
+	buf = append(buf, nn.MarshalNetworks(nets)...)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// Load restores a checkpoint into nets (which must match the saved
+// architecture) and returns the stored step counter.
+func Load(path string, nets []*nn.Network) (step int64, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(buf) < 12 || string(buf[:4]) != magic {
+		return 0, fmt.Errorf("checkpoint: %s is not a checkpoint file", path)
+	}
+	step = int64(binary.LittleEndian.Uint64(buf[4:12]))
+	if err := nn.UnmarshalNetworks(nets, buf[12:]); err != nil {
+		return 0, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	return step, nil
+}

@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cyclegan"
+	"repro/internal/jag"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func tinySurrogate(seed int64) *cyclegan.Surrogate {
+	cfg := cyclegan.DefaultConfig(jag.Tiny8)
+	cfg.EncoderHidden = []int{16}
+	cfg.ForwardHidden = []int{8}
+	cfg.InverseHidden = []int{8}
+	cfg.DiscHidden = []int{8}
+	return cyclegan.New(cfg, seed)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	src := tinySurrogate(1)
+	if err := Save(path, 1234, src.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	dst := tinySurrogate(2)
+	step, err := Load(path, dst.Nets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 1234 {
+		t.Fatalf("step = %d, want 1234", step)
+	}
+	a := nn.MarshalNetworks(src.Nets())
+	b := nn.MarshalNetworks(dst.Nets())
+	if string(a) != string(b) {
+		t.Fatal("weights corrupted in round trip")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	m := tinySurrogate(3)
+	if _, err := Load(filepath.Join(dir, "missing"), m.Nets()); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("not a checkpoint"), 0o644)
+	if _, err := Load(bad, m.Nets()); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	// Architecture mismatch.
+	path := filepath.Join(dir, "ok.ckpt")
+	if err := Save(path, 1, m.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	other := cyclegan.New(cyclegan.DefaultConfig(jag.Tiny8), 1)
+	if _, err := Load(path, other.Nets()); err == nil {
+		t.Fatal("architecture mismatch must error")
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	m := tinySurrogate(4)
+	if err := Save(path, 1, m.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, 2, m.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	step, err := Load(path, m.Nets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 2 {
+		t.Fatalf("step = %d, want 2", step)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+// Checkpoint/restart equivalence: resuming from a checkpoint must produce
+// the same predictions as the model that was saved.
+func TestResumeEquivalence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "resume.ckpt")
+	src := tinySurrogate(7)
+	// Mutate the source (simulating training), checkpoint, then restore
+	// into a fresh replica and compare behaviour.
+	for _, p := range src.Forward.Params() {
+		for i := range p.W.Data {
+			p.W.Data[i] += 0.01 * float32(i%7)
+		}
+	}
+	if err := Save(path, 77, src.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	resumed := tinySurrogate(1234)
+	if _, err := Load(path, resumed.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	s := jag.SimulateAt(jag.Tiny8, 42)
+	x := tensor.FromSlice(1, jag.InputDim, s.X)
+	a := src.Predict(x)
+	b := resumed.Predict(x)
+	if !a.Equal(b) {
+		t.Fatal("resumed model predicts differently")
+	}
+}

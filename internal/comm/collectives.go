@@ -1,0 +1,337 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// coord is the shared coordination structure behind barriers and splits —
+// the role MPI's shared-memory collectives play inside a node. One coord is
+// shared by every rank handle of a communicator.
+type coord struct {
+	mu           sync.Mutex
+	cond         *sync.Cond
+	size         int
+	depositCount int
+	readCount    int
+	slots        []any
+}
+
+func newCoord(size int) *coord {
+	c := &coord{size: size, slots: make([]any, size)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// exchange deposits val at the caller's slot, waits for every rank to
+// deposit, and returns a snapshot of all slots. It is a reusable all-to-all
+// rendezvous: the round resets after every rank has read its snapshot.
+func (c *coord) exchange(rank int, val any) []any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.depositCount == c.size {
+		c.cond.Wait()
+	}
+	c.slots[rank] = val
+	c.depositCount++
+	if c.depositCount == c.size {
+		c.cond.Broadcast()
+	}
+	for c.depositCount != c.size {
+		c.cond.Wait()
+	}
+	snap := make([]any, c.size)
+	copy(snap, c.slots)
+	c.readCount++
+	if c.readCount == c.size {
+		c.depositCount = 0
+		c.readCount = 0
+		c.cond.Broadcast()
+	}
+	return snap
+}
+
+// coordRegistry hands out one coord per (world, communicator key) so that
+// all rank handles of a split communicator share state.
+var (
+	coordRegMu sync.Mutex
+	coordReg   = map[*World]map[string]*coord{}
+)
+
+func coordFor(w *World, key string, size int) *coord {
+	coordRegMu.Lock()
+	defer coordRegMu.Unlock()
+	m, ok := coordReg[w]
+	if !ok {
+		m = map[string]*coord{}
+		coordReg[w] = m
+	}
+	c, ok := m[key]
+	if !ok {
+		c = newCoord(size)
+		m[key] = c
+	}
+	return c
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() {
+	c.seq++
+	c.coord.exchange(c.rank, nil)
+}
+
+// splitEntry is one rank's contribution to a Split.
+type splitEntry struct {
+	color, key, localRank int
+}
+
+// Split partitions the communicator into disjoint sub-communicators, one per
+// distinct color, ordering ranks within each by (key, old rank) — the
+// semantics of MPI_Comm_split. Every rank must call Split collectively; each
+// receives the handle for its color's communicator. This is how LBANN carves
+// the world into trainers (Figure 4).
+func (c *Comm) Split(color, key int) *Comm {
+	c.seq++
+	entries := c.coord.exchange(c.rank, splitEntry{color: color, key: key, localRank: c.rank})
+	var mine []splitEntry
+	for _, e := range entries {
+		se := e.(splitEntry)
+		if se.color == color {
+			mine = append(mine, se)
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].localRank < mine[j].localRank
+	})
+	group := make([]int, len(mine))
+	newRank := -1
+	for i, se := range mine {
+		group[i] = c.group[se.localRank]
+		if se.localRank == c.rank {
+			newRank = i
+		}
+	}
+	key2 := fmt.Sprintf("split#%d:c%d:%v", c.seq, color, group)
+	return &Comm{
+		world: c.world,
+		rank:  newRank,
+		group: group,
+		coord: coordFor(c.world, key2, len(group)),
+	}
+}
+
+// segBounds returns the i-th of n contiguous ring segments of a length-m
+// buffer; leading segments absorb the remainder.
+func segBounds(m, n, i int) (lo, hi int) {
+	base := m / n
+	rem := m % n
+	lo = i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// AllreduceSum replaces buf on every rank with the elementwise sum across
+// ranks, using the bandwidth-optimal ring algorithm (reduce-scatter followed
+// by allgather). The result is bitwise identical on every rank, which the
+// data-parallel trainer relies on to keep model replicas in lockstep.
+func (c *Comm) AllreduceSum(buf []float32) { c.allreduceRing(buf, opSum) }
+
+// AllreduceMax replaces buf on every rank with the elementwise maximum.
+func (c *Comm) AllreduceMax(buf []float32) { c.allreduceRing(buf, opMax) }
+
+type reduceOp int
+
+const (
+	opSum reduceOp = iota
+	opMax
+)
+
+func (c *Comm) allreduceRing(buf []float32, op reduceOp) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	base := c.nextCollTag()
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	m := len(buf)
+
+	// Reduce-scatter: after step s, segment (r-s-1 mod n) on rank r holds
+	// partial sums of s+2 contributions; after n-1 steps rank r owns the
+	// fully reduced segment (r+1 mod n).
+	for s := 0; s < n-1; s++ {
+		sendSeg := ((c.rank-s)%n + n) % n
+		recvSeg := ((c.rank-s-1)%n + n) % n
+		lo, hi := segBounds(m, n, sendSeg)
+		c.sendRaw(right, base-s, append([]float32(nil), buf[lo:hi]...), nil)
+		in := c.recvRaw(left, base-s).floats
+		lo, hi = segBounds(m, n, recvSeg)
+		dst := buf[lo:hi]
+		switch op {
+		case opSum:
+			for i := range dst {
+				dst[i] += in[i]
+			}
+		case opMax:
+			for i := range dst {
+				if in[i] > dst[i] {
+					dst[i] = in[i]
+				}
+			}
+		}
+	}
+	// Allgather: circulate the reduced segments.
+	for s := 0; s < n-1; s++ {
+		sendSeg := ((c.rank+1-s)%n + n) % n
+		recvSeg := ((c.rank-s)%n + n) % n
+		lo, hi := segBounds(m, n, sendSeg)
+		c.sendRaw(right, base-(n-1)-s, append([]float32(nil), buf[lo:hi]...), nil)
+		in := c.recvRaw(left, base-(n-1)-s).floats
+		lo, hi = segBounds(m, n, recvSeg)
+		copy(buf[lo:hi], in)
+	}
+}
+
+// AllreduceSumNaive is the gather-at-root + broadcast reference
+// implementation kept for the allreduce ablation bench.
+func (c *Comm) AllreduceSumNaive(buf []float32) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	base := c.nextCollTag()
+	if c.rank == 0 {
+		for src := 1; src < n; src++ {
+			in := c.recvRaw(src, base).floats
+			for i := range buf {
+				buf[i] += in[i]
+			}
+		}
+	} else {
+		c.sendRaw(0, base, append([]float32(nil), buf...), nil)
+	}
+	c.bcastWithTag(0, buf, base-1)
+}
+
+// Bcast overwrites buf on every rank with root's contents using a binomial
+// tree, so latency grows as log₂(n).
+func (c *Comm) Bcast(root int, buf []float32) {
+	c.bcastWithTag(root, buf, c.nextCollTag())
+}
+
+func (c *Comm) bcastWithTag(root int, buf []float32, tag int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	rel := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % n
+			in := c.recvRaw(src, tag).floats
+			copy(buf, in)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (rel + mask + root) % n
+			c.sendRaw(dst, tag, append([]float32(nil), buf...), nil)
+		}
+		mask >>= 1
+	}
+}
+
+// BcastBytes overwrites buf on every rank with root's bytes via the same
+// binomial tree; used to distribute a tournament winner inside a trainer.
+func (c *Comm) BcastBytes(root int, buf []byte) {
+	tag := c.nextCollTag()
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	rel := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % n
+			in := c.recvRaw(src, tag).bytes
+			copy(buf, in)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < n {
+			dst := (rel + mask + root) % n
+			c.sendRaw(dst, tag, nil, append([]byte(nil), buf...))
+		}
+		mask >>= 1
+	}
+}
+
+// Gather collects each rank's contribution at root, which receives them
+// indexed by rank; other ranks receive nil.
+func (c *Comm) Gather(root int, data []float32) [][]float32 {
+	tag := c.nextCollTag()
+	n := c.Size()
+	if c.rank != root {
+		c.sendRaw(root, tag, append([]float32(nil), data...), nil)
+		return nil
+	}
+	out := make([][]float32, n)
+	out[root] = append([]float32(nil), data...)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.recvRaw(r, tag).floats
+	}
+	return out
+}
+
+// AllgatherFloat64 exchanges one float64 per rank and returns the full
+// vector on every rank; used for tournament metric comparison.
+func (c *Comm) AllgatherFloat64(v float64) []float64 {
+	c.seq++
+	vals := c.coord.exchange(c.rank, v)
+	out := make([]float64, len(vals))
+	for i, x := range vals {
+		out[i] = x.(float64)
+	}
+	return out
+}
+
+// ReduceSum accumulates every rank's buf elementwise at root (other ranks'
+// buffers are left untouched), using rank order for deterministic rounding.
+func (c *Comm) ReduceSum(root int, buf []float32) {
+	tag := c.nextCollTag()
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	if c.rank != root {
+		c.sendRaw(root, tag, append([]float32(nil), buf...), nil)
+		return
+	}
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		in := c.recvRaw(r, tag).floats
+		for i := range buf {
+			buf[i] += in[i]
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package comm is an in-process message-passing library modelled on the
+// MPI/Aluminum layer of the paper's software stack (Figure 3). Ranks are
+// goroutines; each rank holds a Comm handle through which it sends tagged
+// messages, posts non-blocking receives, and participates in collectives
+// (ring allreduce, broadcast, barrier) and communicator splits.
+//
+// The semantics follow MPI where it matters to the reproduction:
+//
+//   - Point-to-point messages are matched by (source, tag) with the MPI
+//     non-overtaking guarantee: two messages from the same source with the
+//     same tag arrive in send order.
+//   - Sends are eager and buffered: Send never blocks, so Sendrecv-style
+//     exchanges (the LTFB generator swap) cannot deadlock.
+//   - Collectives must be called by every rank of a communicator in the same
+//     order, exactly like MPI.
+//
+// Allreduce uses the ring algorithm (reduce-scatter + allgather), the same
+// family NCCL/Aluminum use on NVLink/InfiniBand; a naive gather+broadcast
+// variant is retained for the ablation benchmarks.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches a message from any rank, like MPI_ANY_SOURCE.
+const AnySource = -1
+
+// AnyTag matches a message with any tag, like MPI_ANY_TAG.
+const AnyTag = -1
+
+// message is one in-flight point-to-point payload. Exactly one of floats and
+// bytes is non-nil.
+type message struct {
+	src    int // global source rank
+	tag    int
+	floats []float32
+	bytes  []byte
+}
+
+// mailbox buffers unmatched messages for one global rank.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.msgs = append(m.msgs, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// get blocks until a message matching (src, tag) is available and removes it.
+// Scanning front-to-back preserves the non-overtaking order.
+func (m *mailbox) get(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.msgs {
+			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+				m.msgs = append(m.msgs[:i], m.msgs[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is the set of all ranks in a run — the analogue of MPI_COMM_WORLD's
+// underlying process set. Create one per training job with NewWorld.
+type World struct {
+	size      int
+	mailboxes []*mailbox
+}
+
+// NewWorld creates a world with n ranks. It panics if n < 1.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("comm: world size %d < 1", n))
+	}
+	w := &World{size: n, mailboxes: make([]*mailbox, n)}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the world communicator handle for global rank r. Each rank
+// goroutine must use only its own handle.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("comm: rank %d outside world of size %d", r, w.size))
+	}
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{world: w, rank: r, group: group, coord: worldCoord(w)}
+}
+
+// worldCoords caches one coordination structure per world so every rank's
+// world communicator shares it.
+var (
+	worldCoordMu sync.Mutex
+	worldCoords  = map[*World]*coord{}
+)
+
+func worldCoord(w *World) *coord {
+	worldCoordMu.Lock()
+	defer worldCoordMu.Unlock()
+	c, ok := worldCoords[w]
+	if !ok {
+		c = newCoord(w.size)
+		worldCoords[w] = c
+	}
+	return c
+}
+
+// Run spawns fn on one goroutine per rank, passing each its world
+// communicator, and blocks until all return. A panic in any rank is
+// re-raised in the caller with the rank attached, so tests fail loudly
+// instead of deadlocking.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for rank, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", rank, p))
+		}
+	}
+}
+
+// Comm is one rank's handle on a communicator: a subset of world ranks with
+// its own rank numbering, like an MPI communicator. Handles are cheap; each
+// rank owns one per communicator and must not share it across goroutines.
+type Comm struct {
+	world *World
+	rank  int   // local rank within group
+	group []int // local rank -> global rank
+	coord *coord
+	seq   int // collective sequence number, advances identically on all ranks
+}
+
+// Rank returns the caller's rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// GlobalRank returns the world rank of local rank r in this communicator.
+func (c *Comm) GlobalRank(r int) int { return c.group[r] }
+
+// Send delivers a copy of data to local rank dst with the given tag. It
+// never blocks. Tags must be non-negative; negative tags are reserved for
+// collectives.
+func (c *Comm) Send(dst, tag int, data []float32) {
+	c.checkUserTag(tag)
+	c.sendRaw(dst, tag, append([]float32(nil), data...), nil)
+}
+
+// SendBytes delivers a copy of data to local rank dst with the given tag.
+func (c *Comm) SendBytes(dst, tag int, data []byte) {
+	c.checkUserTag(tag)
+	c.sendRaw(dst, tag, nil, append([]byte(nil), data...))
+}
+
+func (c *Comm) sendRaw(dst, tag int, floats []float32, bytes []byte) {
+	g := c.group[dst]
+	c.world.mailboxes[g].put(message{src: c.group[c.rank], tag: tag, floats: floats, bytes: bytes})
+}
+
+// Recv blocks until a float payload with matching source and tag arrives and
+// returns it. src may be AnySource and tag may be AnyTag. Receiving a byte
+// payload with Recv is a programming error and panics.
+func (c *Comm) Recv(src, tag int) []float32 {
+	msg := c.recvRaw(src, tag)
+	if msg.bytes != nil {
+		panic(fmt.Sprintf("comm: Recv matched a byte message (src=%d tag=%d); use RecvBytes", msg.src, msg.tag))
+	}
+	return msg.floats
+}
+
+// RecvBytes blocks until a byte payload with matching source and tag arrives.
+func (c *Comm) RecvBytes(src, tag int) []byte {
+	msg := c.recvRaw(src, tag)
+	if msg.floats != nil {
+		panic(fmt.Sprintf("comm: RecvBytes matched a float message (src=%d tag=%d); use Recv", msg.src, msg.tag))
+	}
+	return msg.bytes
+}
+
+func (c *Comm) recvRaw(src, tag int) message {
+	gsrc := AnySource
+	if src != AnySource {
+		gsrc = c.group[src]
+	}
+	return c.world.mailboxes[c.group[c.rank]].get(gsrc, tag)
+}
+
+// Request is a pending non-blocking receive, created by Irecv/IrecvBytes.
+type Request struct {
+	ch chan message
+}
+
+// Irecv posts a non-blocking receive for a float payload. The matching runs
+// on a background goroutine; Wait returns the payload. The data store uses
+// this to overlap shuffles with compute, as LBANN does (Section III-B).
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{ch: make(chan message, 1)}
+	gsrc := AnySource
+	if src != AnySource {
+		gsrc = c.group[src]
+	}
+	box := c.world.mailboxes[c.group[c.rank]]
+	go func() { r.ch <- box.get(gsrc, tag) }()
+	return r
+}
+
+// IrecvBytes posts a non-blocking receive for a byte payload.
+func (c *Comm) IrecvBytes(src, tag int) *Request { return c.Irecv(src, tag) }
+
+// Wait blocks until the request completes and returns the float payload; it
+// panics if the matched message carried bytes.
+func (r *Request) Wait() []float32 {
+	msg := <-r.ch
+	if msg.bytes != nil {
+		panic("comm: Wait matched a byte message; use WaitBytes")
+	}
+	return msg.floats
+}
+
+// WaitBytes blocks until the request completes and returns the byte payload.
+func (r *Request) WaitBytes() []byte {
+	msg := <-r.ch
+	if msg.floats != nil {
+		panic("comm: WaitBytes matched a float message; use Wait")
+	}
+	return msg.bytes
+}
+
+// Sendrecv sends sendData to dst and receives from src with the same tag —
+// the primitive behind the LTFB pairwise generator exchange. Eager sends make
+// it deadlock-free even when both sides target each other.
+func (c *Comm) Sendrecv(dst int, sendData []float32, src, tag int) []float32 {
+	c.Send(dst, tag, sendData)
+	return c.Recv(src, tag)
+}
+
+// SendrecvBytes is Sendrecv for byte payloads.
+func (c *Comm) SendrecvBytes(dst int, sendData []byte, src, tag int) []byte {
+	c.SendBytes(dst, tag, sendData)
+	return c.RecvBytes(src, tag)
+}
+
+func (c *Comm) checkUserTag(tag int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("comm: user tag %d must be non-negative", tag))
+	}
+}
+
+// nextCollTag reserves a block of negative tags for the next collective.
+// Every rank calls collectives in the same order, so sequence numbers agree.
+func (c *Comm) nextCollTag() int {
+	c.seq++
+	return -c.seq * collTagStride
+}
+
+// collTagStride bounds the number of distinct tags a single collective may
+// use (steps of a ring, fan-in rounds, etc.).
+const collTagStride = 1 << 16

@@ -1,0 +1,343 @@
+// Package cyclegan implements the paper's surrogate model for ICF
+// experiments (Section II-D, Figure 2): a CycleGAN built from four
+// fully-connected networks over a shared 20-D latent space.
+//
+//   - A multimodal autoencoder (encoder E, decoder Dec) embeds the output
+//     bundle — 15 scalars plus all X-ray images, predicted jointly so the
+//     modalities stay correlated ("internal consistency").
+//   - The forward model F maps the 5-D input parameters into the latent
+//     space; Dec(F(x)) is the surrogate prediction, trained with mean
+//     absolute error ("surrogate fidelity").
+//   - The discriminator D distinguishes encoded real outputs E(y) from
+//     predicted latents F(x), trained adversarially ("physical
+//     consistency").
+//   - The inverse model G maps latents back to inputs with G(F(x)) ≈ x
+//     ("self consistency" / cycle loss), regularizing the otherwise
+//     underdetermined inverse problem.
+//
+// TrainStep runs the three phases (autoencoder, discriminator, generator)
+// on one mini-batch, reducing each phase's gradients through the supplied
+// reducer before its optimizer step — this is the hook data-parallel
+// trainers use to allreduce. In LTFB tournaments only the generator side
+// (F, G, and the decoder they rely on) is exchanged while discriminators
+// stay local (Section III-C); ExchangeNets returns exactly that subset.
+package cyclegan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/jag"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Config describes the surrogate architecture and optimization
+// hyperparameters. The paper's experiments use batch 128, Adam, learning
+// rate 0.001 (Section IV); layer widths scale with the configured JAG
+// geometry.
+type Config struct {
+	Geometry  jag.Config
+	LatentDim int
+	// EncoderHidden are the widths between the output bundle and the
+	// latent; the decoder mirrors them.
+	EncoderHidden []int
+	// ForwardHidden are the widths of F (5 → latent).
+	ForwardHidden []int
+	// InverseHidden are the widths of G (latent → 5).
+	InverseHidden []int
+	// DiscHidden are the widths of D (latent → 1 logit).
+	DiscHidden []int
+	LR         float64
+	// Loss weights for the generator phase.
+	FidelityWeight    float64
+	AdversarialWeight float64
+	CycleWeight       float64
+	// LatentWeight scales the latent-matching term MSE(F(x), E(y)): the
+	// paper's forward model maps into the latent space that the multimodal
+	// autoencoder defines a priori, and this loss is what pins F to it.
+	LatentWeight float64
+	// ScalarWeight balances the two output modalities inside the MAE
+	// losses: the 15 scalar columns are up-weighted by this factor so the
+	// image pixels (which outnumber them by orders of magnitude) cannot
+	// drown them out of the jointly-predicted bundle.
+	ScalarWeight float64
+}
+
+// DefaultConfig returns a laptop-scale configuration for the given
+// geometry, keeping the paper's latent width of 20.
+func DefaultConfig(g jag.Config) Config {
+	return Config{
+		Geometry:          g,
+		LatentDim:         20,
+		EncoderHidden:     []int{128, 64},
+		ForwardHidden:     []int{32, 32},
+		InverseHidden:     []int{32},
+		DiscHidden:        []int{32, 16},
+		LR:                0.001,
+		FidelityWeight:    1.0,
+		AdversarialWeight: 0.3,
+		CycleWeight:       1.0,
+		LatentWeight:      1.0,
+		ScalarWeight:      float64(g.ImageDim()) / float64(jag.ScalarDim),
+	}
+}
+
+// Validate reports whether the configuration is trainable.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.LatentDim < 1 {
+		return fmt.Errorf("cyclegan: latent dim %d < 1", c.LatentDim)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("cyclegan: learning rate %v", c.LR)
+	}
+	if c.ScalarWeight < 0 {
+		return fmt.Errorf("cyclegan: scalar weight %v", c.ScalarWeight)
+	}
+	return nil
+}
+
+// Surrogate is one replica of the CycleGAN surrogate with its optimizers.
+// It implements the trainer's Model contract structurally.
+type Surrogate struct {
+	Cfg Config
+
+	Encoder *nn.Network
+	Decoder *nn.Network
+	Forward *nn.Network
+	Inverse *nn.Network
+	Disc    *nn.Network
+
+	optAE   opt.Optimizer
+	optDisc opt.Optimizer
+	optGen  opt.Optimizer
+}
+
+// New builds a surrogate with weights drawn from seed. Two replicas built
+// from the same (cfg, seed) are bitwise identical, which data-parallel
+// training relies on.
+func New(cfg Config, seed int64) *Surrogate {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.ScalarWeight == 0 {
+		cfg.ScalarWeight = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	outDim := cfg.Geometry.OutputDim()
+
+	encDims := append([]int{outDim}, cfg.EncoderHidden...)
+	encDims = append(encDims, cfg.LatentDim)
+	decDims := []int{cfg.LatentDim}
+	for i := len(cfg.EncoderHidden) - 1; i >= 0; i-- {
+		decDims = append(decDims, cfg.EncoderHidden[i])
+	}
+	decDims = append(decDims, outDim)
+	fwdDims := append([]int{jag.InputDim}, cfg.ForwardHidden...)
+	fwdDims = append(fwdDims, cfg.LatentDim)
+	invDims := append([]int{cfg.LatentDim}, cfg.InverseHidden...)
+	invDims = append(invDims, jag.InputDim)
+	dscDims := append([]int{cfg.LatentDim}, cfg.DiscHidden...)
+	dscDims = append(dscDims, 1)
+
+	s := &Surrogate{
+		Cfg:     cfg,
+		Encoder: nn.MLP("encoder", encDims, nn.ActLeakyReLU, nn.ActNone, rng),
+		Decoder: nn.MLP("decoder", decDims, nn.ActLeakyReLU, nn.ActSigmoid, rng),
+		Forward: nn.MLP("forward", fwdDims, nn.ActLeakyReLU, nn.ActNone, rng),
+		Inverse: nn.MLP("inverse", invDims, nn.ActLeakyReLU, nn.ActSigmoid, rng),
+		Disc:    nn.MLP("disc", dscDims, nn.ActLeakyReLU, nn.ActNone, rng),
+	}
+	s.optAE = opt.NewAdam(cfg.LR)
+	s.optDisc = opt.NewAdam(cfg.LR)
+	s.optGen = opt.NewAdam(cfg.LR)
+	return s
+}
+
+// Nets returns every network of the surrogate.
+func (s *Surrogate) Nets() []*nn.Network {
+	return []*nn.Network{s.Encoder, s.Decoder, s.Forward, s.Inverse, s.Disc}
+}
+
+// ExchangeNets returns the networks LTFB ships between trainers: the
+// generator side (forward, inverse, decoder). The discriminator and encoder
+// stay local, mimicking "educating a student with multiple teachers" and
+// cutting exchange volume (Section III-C).
+func (s *Surrogate) ExchangeNets() []*nn.Network {
+	return []*nn.Network{s.Forward, s.Inverse, s.Decoder}
+}
+
+// weightedMAE is MAE over the output bundle with the leading ScalarDim
+// columns up-weighted by w. The reported loss and the gradient are both
+// normalized by the total weight, so w only redistributes attention between
+// modalities.
+func weightedMAE(pred, target *tensor.Matrix, w float64) (float64, *tensor.Matrix) {
+	if w == 1 || pred.Cols <= jag.ScalarDim {
+		return nn.MAE(pred, target)
+	}
+	rows, cols := pred.Rows, pred.Cols
+	total := float64(rows) * (w*float64(jag.ScalarDim) + float64(cols-jag.ScalarDim))
+	grad := tensor.New(rows, cols)
+	var loss float64
+	for r := 0; r < rows; r++ {
+		pr, tr, gr := pred.Row(r), target.Row(r), grad.Row(r)
+		for c := range pr {
+			cw := 1.0
+			if c < jag.ScalarDim {
+				cw = w
+			}
+			d := float64(pr[c] - tr[c])
+			g := float32(cw / total)
+			if d >= 0 {
+				loss += cw * d
+				gr[c] = g
+			} else {
+				loss -= cw * d
+				gr[c] = -g
+			}
+		}
+	}
+	return loss / total, grad
+}
+
+// aeParams returns the autoencoder's parameters.
+func (s *Surrogate) aeParams() []*nn.Param {
+	return append(s.Encoder.Params(), s.Decoder.Params()...)
+}
+
+// genParams returns the generator phase's parameters (F and G).
+func (s *Surrogate) genParams() []*nn.Param {
+	return append(s.Forward.Params(), s.Inverse.Params()...)
+}
+
+// TrainStep runs one mini-batch through the three training phases and
+// returns the named loss values. x is the batch of 5-D inputs, y the
+// corresponding output bundles. r reduces gradients across replicas before
+// each optimizer step.
+func (s *Surrogate) TrainStep(x, y *tensor.Matrix, r nn.Reducer) map[string]float64 {
+	losses := make(map[string]float64, 5)
+
+	// Phase 1 — multimodal autoencoder: Dec(E(y)) ≈ y (internal
+	// consistency).
+	s.Encoder.ZeroGrad()
+	s.Decoder.ZeroGrad()
+	z := s.Encoder.Forward(y, true)
+	yRec := s.Decoder.Forward(z, true)
+	aeLoss, dRec := weightedMAE(yRec, y, s.Cfg.ScalarWeight)
+	losses["autoencoder"] = aeLoss
+	dz := s.Decoder.Backward(dRec)
+	s.Encoder.Backward(dz)
+	aeP := s.aeParams()
+	r.Reduce(aeP)
+	s.optAE.Step(aeP)
+
+	// Phase 2 — discriminator: real latents E(y) vs fake latents F(x)
+	// (physical consistency, the adversarial term). Neither E nor F is
+	// updated here.
+	zReal := s.Encoder.Forward(y, false)
+	zFake := s.Forward.Forward(x, false)
+	s.Disc.ZeroGrad()
+	logitsReal := s.Disc.Forward(zReal, true)
+	ones := tensor.New(logitsReal.Rows, 1)
+	ones.Fill(1)
+	zeros := tensor.New(logitsReal.Rows, 1)
+	lossReal, dReal := nn.BCEWithLogits(logitsReal, ones)
+	s.Disc.Backward(dReal)
+	logitsFake := s.Disc.Forward(zFake, true)
+	lossFake, dFake := nn.BCEWithLogits(logitsFake, zeros)
+	s.Disc.Backward(dFake)
+	losses["disc"] = lossReal + lossFake
+	dscP := s.Disc.Params()
+	r.Reduce(dscP)
+	s.optDisc.Step(dscP)
+
+	// Phase 3 — generator: F (and G) trained on latent matching + fidelity
+	// + adversarial + cycle. Gradients flow through Dec and D but their
+	// accumulators are discarded at the start of their own phases.
+	s.Forward.ZeroGrad()
+	s.Inverse.ZeroGrad()
+	zGen := s.Forward.Forward(x, true)
+
+	latLoss, dLat := nn.MSE(zGen, zReal)
+	losses["latent"] = latLoss
+	tensor.Scale(dLat, float32(s.Cfg.LatentWeight))
+
+	yPred := s.Decoder.Forward(zGen, false)
+	fidLoss, dPred := weightedMAE(yPred, y, s.Cfg.ScalarWeight)
+	losses["fidelity"] = fidLoss
+	tensor.Scale(dPred, float32(s.Cfg.FidelityWeight))
+	dzFid := s.Decoder.Backward(dPred)
+
+	logitsGen := s.Disc.Forward(zGen, false)
+	advLoss, dAdv := nn.BCEWithLogits(logitsGen, ones)
+	losses["adversarial"] = advLoss
+	tensor.Scale(dAdv, float32(s.Cfg.AdversarialWeight))
+	dzAdv := s.Disc.Backward(dAdv)
+
+	xRec := s.Inverse.Forward(zGen, true)
+	cycLoss, dCyc := nn.MAE(xRec, x)
+	losses["cycle"] = cycLoss
+	tensor.Scale(dCyc, float32(s.Cfg.CycleWeight))
+	dzCyc := s.Inverse.Backward(dCyc)
+
+	dzTotal := tensor.New(zGen.Rows, zGen.Cols)
+	tensor.Add(dzTotal, dzFid, dzAdv)
+	tensor.Add(dzTotal, dzTotal, dzCyc)
+	tensor.Add(dzTotal, dzTotal, dLat)
+	s.Forward.Backward(dzTotal)
+
+	genP := s.genParams()
+	r.Reduce(genP)
+	s.optGen.Step(genP)
+	return losses
+}
+
+// Predict runs the forward surrogate: output bundles for a batch of inputs.
+func (s *Surrogate) Predict(x *tensor.Matrix) *tensor.Matrix {
+	return s.Decoder.Forward(s.Forward.Forward(x, false), false)
+}
+
+// Invert runs the inverse surrogate: inferred inputs for a batch of inputs'
+// latents (the self-consistency path G(F(x))).
+func (s *Surrogate) Invert(x *tensor.Matrix) *tensor.Matrix {
+	return s.Inverse.Forward(s.Forward.Forward(x, false), false)
+}
+
+// Eval returns the validation objective the paper uses for tournaments and
+// quality plots: forward loss plus inverse loss on held-out data (lower is
+// better).
+func (s *Surrogate) Eval(x, y *tensor.Matrix) float64 {
+	z := s.Forward.Forward(x, false)
+	fwd := nn.MAEValue(s.Decoder.Forward(z, false), y)
+	inv := nn.MAEValue(s.Inverse.Forward(z, false), x)
+	return fwd + inv
+}
+
+// AdversarialScore judges this model's generator with this model's
+// discriminator: the cross-entropy of D(F(x)) against the "real" label
+// (lower means the generator fools the discriminator better), plus the
+// fidelity term so a degenerate generator cannot win on fooling alone. LTFB
+// evaluates an incoming generator by loading it into a scratch model that
+// keeps the local discriminator — "evaluate them against their local
+// discriminators" (Figure 6b).
+func (s *Surrogate) AdversarialScore(x, y *tensor.Matrix) float64 {
+	z := s.Forward.Forward(x, false)
+	logits := s.Disc.Forward(z, false)
+	ones := tensor.New(logits.Rows, 1)
+	ones.Fill(1)
+	adv, _ := nn.BCEWithLogits(logits, ones)
+	fid := nn.MAEValue(s.Decoder.Forward(z, false), y)
+	return adv + fid
+}
+
+// ResetOptim clears all optimizer state, e.g. after adopting a tournament
+// winner's weights.
+func (s *Surrogate) ResetOptim() {
+	s.optAE.Reset()
+	s.optDisc.Reset()
+	s.optGen.Reset()
+}

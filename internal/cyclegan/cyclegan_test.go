@@ -1,0 +1,259 @@
+package cyclegan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/jag"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// tinyConfig returns a very small surrogate for fast tests.
+func tinyConfig() Config {
+	cfg := DefaultConfig(jag.Tiny8)
+	cfg.EncoderHidden = []int{32}
+	cfg.ForwardHidden = []int{16}
+	cfg.InverseHidden = []int{16}
+	cfg.DiscHidden = []int{16}
+	return cfg
+}
+
+// batch builds matched (x, y) matrices from the JAG plan.
+func batch(cfg Config, start, n int) (x, y *tensor.Matrix) {
+	g := cfg.Geometry
+	x = tensor.New(n, jag.InputDim)
+	y = tensor.New(n, g.OutputDim())
+	for i := 0; i < n; i++ {
+		s := jag.SimulateAt(g, start+i)
+		copy(x.Row(i), s.X)
+		copy(y.Row(i), s.Output())
+	}
+	return x, y
+}
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(tinyConfig(), 7)
+	b := New(tinyConfig(), 7)
+	for i, na := range a.Nets() {
+		nb := b.Nets()[i]
+		pa, pb := na.Params(), nb.Params()
+		for j := range pa {
+			if !pa[j].W.Equal(pb[j].W) {
+				t.Fatalf("net %d param %d differs between same-seed replicas", i, j)
+			}
+		}
+	}
+	c := New(tinyConfig(), 8)
+	if c.Forward.Params()[0].W.Equal(a.Forward.Params()[0].W) {
+		t.Fatal("different seeds should give different weights")
+	}
+}
+
+func TestArchitectureShapes(t *testing.T) {
+	cfg := tinyConfig()
+	s := New(cfg, 1)
+	x, y := batch(cfg, 0, 4)
+	z := s.Encoder.Forward(y, false)
+	if z.Cols != cfg.LatentDim {
+		t.Fatalf("encoder output width %d, want %d", z.Cols, cfg.LatentDim)
+	}
+	if out := s.Decoder.Forward(z, false); out.Cols != cfg.Geometry.OutputDim() {
+		t.Fatalf("decoder output width %d", out.Cols)
+	}
+	if zf := s.Forward.Forward(x, false); zf.Cols != cfg.LatentDim {
+		t.Fatalf("forward output width %d", zf.Cols)
+	}
+	if xr := s.Inverse.Forward(z, false); xr.Cols != jag.InputDim {
+		t.Fatalf("inverse output width %d", xr.Cols)
+	}
+	if d := s.Disc.Forward(z, false); d.Cols != 1 {
+		t.Fatalf("disc output width %d", d.Cols)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.LatentDim = 0
+	if cfg.Validate() == nil {
+		t.Fatal("latent 0 must be invalid")
+	}
+	cfg = tinyConfig()
+	cfg.LR = 0
+	if cfg.Validate() == nil {
+		t.Fatal("lr 0 must be invalid")
+	}
+	cfg = tinyConfig()
+	cfg.Geometry.Views = 0
+	if cfg.Validate() == nil {
+		t.Fatal("bad geometry must be invalid")
+	}
+}
+
+func TestTrainStepReturnsAllLosses(t *testing.T) {
+	cfg := tinyConfig()
+	s := New(cfg, 2)
+	x, y := batch(cfg, 0, 8)
+	losses := s.TrainStep(x, y, nn.NopReducer{})
+	for _, k := range []string{"autoencoder", "disc", "fidelity", "adversarial", "cycle"} {
+		v, ok := losses[k]
+		if !ok {
+			t.Fatalf("missing loss %q", k)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("loss %q = %v", k, v)
+		}
+	}
+}
+
+func TestTrainingImprovesEval(t *testing.T) {
+	cfg := tinyConfig()
+	s := New(cfg, 3)
+	xTr, yTr := batch(cfg, 0, 64)
+	xVal, yVal := batch(cfg, 1000, 32)
+	before := s.Eval(xVal, yVal)
+	for step := 0; step < 60; step++ {
+		s.TrainStep(xTr, yTr, nn.NopReducer{})
+	}
+	after := s.Eval(xVal, yVal)
+	if !(after < before*0.8) {
+		t.Fatalf("training did not improve eval: %v -> %v", before, after)
+	}
+}
+
+func TestAutoencoderLossDecreases(t *testing.T) {
+	cfg := tinyConfig()
+	s := New(cfg, 4)
+	x, y := batch(cfg, 0, 32)
+	first := s.TrainStep(x, y, nn.NopReducer{})["autoencoder"]
+	var last float64
+	for i := 0; i < 40; i++ {
+		last = s.TrainStep(x, y, nn.NopReducer{})["autoencoder"]
+	}
+	if !(last < first*0.8) {
+		t.Fatalf("autoencoder loss %v -> %v", first, last)
+	}
+}
+
+func TestPredictAndInvertShapes(t *testing.T) {
+	cfg := tinyConfig()
+	s := New(cfg, 5)
+	x, _ := batch(cfg, 0, 6)
+	pred := s.Predict(x)
+	if pred.Rows != 6 || pred.Cols != cfg.Geometry.OutputDim() {
+		t.Fatalf("Predict shape %dx%d", pred.Rows, pred.Cols)
+	}
+	inv := s.Invert(x)
+	if inv.Rows != 6 || inv.Cols != jag.InputDim {
+		t.Fatalf("Invert shape %dx%d", inv.Rows, inv.Cols)
+	}
+	// Sigmoid heads keep predictions in (0,1) like the data.
+	for _, v := range pred.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("prediction %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestCycleConsistencyImproves(t *testing.T) {
+	cfg := tinyConfig()
+	s := New(cfg, 6)
+	x, y := batch(cfg, 0, 64)
+	cycleOf := func() float64 {
+		return nn.MAEValue(s.Invert(x), x)
+	}
+	before := cycleOf()
+	for i := 0; i < 80; i++ {
+		s.TrainStep(x, y, nn.NopReducer{})
+	}
+	if after := cycleOf(); !(after < before) {
+		t.Fatalf("cycle consistency did not improve: %v -> %v", before, after)
+	}
+}
+
+func TestExchangeNetsSubset(t *testing.T) {
+	s := New(tinyConfig(), 7)
+	ex := s.ExchangeNets()
+	if len(ex) != 3 {
+		t.Fatalf("exchange set has %d nets, want 3", len(ex))
+	}
+	names := map[string]bool{}
+	for _, n := range ex {
+		names[n.Name] = true
+	}
+	if !names["forward"] || !names["inverse"] || !names["decoder"] {
+		t.Fatalf("exchange set = %v", names)
+	}
+	if names["disc"] || names["encoder"] {
+		t.Fatal("discriminator and encoder must stay local")
+	}
+	// Exchange volume must be strictly smaller than the full model.
+	exBytes, allBytes := 0, 0
+	for _, n := range ex {
+		exBytes += n.WeightsSize()
+	}
+	for _, n := range s.Nets() {
+		allBytes += n.WeightsSize()
+	}
+	if exBytes >= allBytes {
+		t.Fatalf("exchange %d bytes not smaller than full %d", exBytes, allBytes)
+	}
+}
+
+func TestDiscriminatorLearnsToSeparate(t *testing.T) {
+	// Freeze the generator implicitly by only checking D improves early:
+	// after some steps D should assign higher logits to real latents than
+	// fake ones on average.
+	cfg := tinyConfig()
+	s := New(cfg, 8)
+	x, y := batch(cfg, 0, 64)
+	for i := 0; i < 30; i++ {
+		s.TrainStep(x, y, nn.NopReducer{})
+	}
+	zReal := s.Encoder.Forward(y, false)
+	zFake := s.Forward.Forward(x, false)
+	realMean := tensor.Mean(s.Disc.Forward(zReal, false))
+	fakeMean := tensor.Mean(s.Disc.Forward(zFake, false))
+	if !(realMean > fakeMean) {
+		t.Fatalf("discriminator not separating: real %v vs fake %v", realMean, fakeMean)
+	}
+}
+
+func TestResetOptimAllowsContinuedTraining(t *testing.T) {
+	cfg := tinyConfig()
+	s := New(cfg, 9)
+	x, y := batch(cfg, 0, 16)
+	s.TrainStep(x, y, nn.NopReducer{})
+	s.ResetOptim()
+	losses := s.TrainStep(x, y, nn.NopReducer{})
+	if math.IsNaN(losses["fidelity"]) {
+		t.Fatal("training after ResetOptim diverged")
+	}
+}
+
+func TestReplicasStayIdenticalUnderSameData(t *testing.T) {
+	cfg := tinyConfig()
+	a := New(cfg, 10)
+	b := New(cfg, 10)
+	x, y := batch(cfg, 0, 16)
+	for i := 0; i < 5; i++ {
+		a.TrainStep(x, y, nn.NopReducer{})
+		b.TrainStep(x, y, nn.NopReducer{})
+	}
+	pa, pb := a.Forward.Params(), b.Forward.Params()
+	for i := range pa {
+		if !pa[i].W.Equal(pb[i].W) {
+			t.Fatal("identical replicas diverged under identical data")
+		}
+	}
+}
+
+func BenchmarkTrainStepTiny(b *testing.B) {
+	cfg := tinyConfig()
+	s := New(cfg, 11)
+	x, y := batch(cfg, 0, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TrainStep(x, y, nn.NopReducer{})
+	}
+}

@@ -1,0 +1,66 @@
+package datastore
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Capacity support: the paper's data store is capacity-bound — a trainer
+// whose per-rank shard exceeds host memory simply cannot run in preload
+// mode (Figure 10's 1–2 GPU points, Figure 11's 4-node baseline). The real
+// store here reproduces both behaviours: preload fails loudly when the
+// shard cannot fit, while the dynamic store degrades gracefully by evicting
+// least-recently-used samples back to the file system (re-reading them on
+// demand and counting the extra backing reads, so experiments can observe
+// the thrash).
+
+// SetCapacity bounds this rank's cache to maxSamples entries (0 = unlimited).
+// In ModePreload the bound must admit the whole owned shard — Preload
+// returns an error otherwise, mirroring the paper's out-of-memory cases.
+// In ModeDynamic the store evicts least-recently-used samples once full.
+func (s *Store) SetCapacity(maxSamples int) {
+	s.capacity = maxSamples
+	if maxSamples > 0 && s.lru == nil {
+		s.lru = list.New()
+		s.lruIndex = make(map[int]*list.Element, maxSamples)
+	}
+}
+
+// Capacity returns the configured bound (0 = unlimited).
+func (s *Store) Capacity() int { return s.capacity }
+
+// touch marks sample i most-recently-used.
+func (s *Store) touch(i int) {
+	if s.capacity <= 0 {
+		return
+	}
+	if el, ok := s.lruIndex[i]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.lruIndex[i] = s.lru.PushFront(i)
+}
+
+// admit caches row for sample i, evicting LRU entries to respect the bound.
+// Preloaded ownership is never evicted implicitly; dynamic entries are.
+func (s *Store) admit(i int, row []float32) error {
+	if s.capacity > 0 && len(s.cache) >= s.capacity {
+		if s.mode == ModePreload {
+			return fmt.Errorf("datastore: rank %d over capacity (%d samples) during preload", s.c.Rank(), s.capacity)
+		}
+		for len(s.cache) >= s.capacity {
+			back := s.lru.Back()
+			if back == nil {
+				break
+			}
+			victim := back.Value.(int)
+			s.lru.Remove(back)
+			delete(s.lruIndex, victim)
+			delete(s.cache, victim)
+			s.stats.Evictions++
+		}
+	}
+	s.cache[i] = row
+	s.touch(i)
+	return nil
+}

@@ -1,0 +1,399 @@
+package datastore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/bundle"
+	"repro/internal/comm"
+	"repro/internal/reader"
+)
+
+// makeBundleDS writes files×perFile samples of width dim; sample i has
+// row[0] = i so content is verifiable.
+func makeBundleDS(t testing.TB, files, perFile, dim int) *reader.BundleDataset {
+	t.Helper()
+	dir := t.TempDir()
+	var paths []string
+	g := 0
+	for f := 0; f < files; f++ {
+		recs := make([][]float32, perFile)
+		for i := range recs {
+			recs[i] = make([]float32, dim)
+			recs[i][0] = float32(g)
+			recs[i][dim-1] = float32(g * 2)
+			g++
+		}
+		p := filepath.Join(dir, fmt.Sprintf("%04d.jagb", f))
+		if err := bundle.Write(p, dim, recs); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	ds, err := reader.OpenBundles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+	return ds
+}
+
+// partsFor splits batch across ranks contiguously.
+func partsFor(batch []int, ranks int) [][]int {
+	parts := make([][]int, ranks)
+	for r := 0; r < ranks; r++ {
+		parts[r] = reader.PartitionContiguousOf(batch, ranks, r)
+	}
+	return parts
+}
+
+// runEpoch fetches every batch and verifies each rank got the rows it asked
+// for, returning per-rank stats.
+func runEpoch(t *testing.T, w *comm.World, ds reader.Dataset, mode Mode, batches [][]int, stores []*Store) {
+	t.Helper()
+	ranks := w.Size()
+	var mu sync.Mutex
+	w.Run(func(c *comm.Comm) {
+		s := stores[c.Rank()]
+		for _, batch := range batches {
+			parts := partsFor(batch, ranks)
+			m, err := s.Fetch(parts)
+			if err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+				return
+			}
+			mine := parts[c.Rank()]
+			if m.Rows != len(mine) {
+				t.Errorf("rank %d got %d rows, want %d", c.Rank(), m.Rows, len(mine))
+				return
+			}
+			for r, i := range mine {
+				if m.At(r, 0) != float32(i) || m.At(r, m.Cols-1) != float32(2*i) {
+					mu.Lock()
+					t.Errorf("rank %d row %d: content for sample %d wrong: %v", c.Rank(), r, i, m.Row(r))
+					mu.Unlock()
+					return
+				}
+			}
+		}
+	})
+}
+
+func newStores(w *comm.World, ds reader.Dataset, mode Mode) []*Store {
+	stores := make([]*Store, w.Size())
+	w.Run(func(c *comm.Comm) { stores[c.Rank()] = New(c, ds, mode) })
+	return stores
+}
+
+func epochBatches(n, batch int, seed int64, epoch int) [][]int {
+	sh := reader.NewShuffler(n, seed)
+	perm := append([]int(nil), sh.Epoch(epoch)...)
+	return reader.Batches(perm, batch, false)
+}
+
+func TestModeNoneAlwaysReadsBacking(t *testing.T) {
+	ds := makeBundleDS(t, 4, 8, 6)
+	w := comm.NewWorld(4)
+	stores := newStores(w, ds, ModeNone)
+	for epoch := 0; epoch < 2; epoch++ {
+		runEpoch(t, w, ds, ModeNone, epochBatches(32, 8, 1, epoch), stores)
+	}
+	var reads int64
+	for _, s := range stores {
+		st := s.Stats()
+		reads += st.BackingReads
+		if st.RemoteSamples != 0 || st.BytesSent != 0 {
+			t.Fatalf("naive mode must not exchange: %+v", st)
+		}
+	}
+	if reads != 64 { // 32 samples × 2 epochs
+		t.Fatalf("backing reads = %d, want 64", reads)
+	}
+}
+
+func TestDynamicCachesAfterFirstEpoch(t *testing.T) {
+	ds := makeBundleDS(t, 4, 8, 6)
+	w := comm.NewWorld(4)
+	stores := newStores(w, ds, ModeDynamic)
+	// Epoch 0: identity order → all reads hit backing once.
+	runEpoch(t, w, ds, ModeDynamic, epochBatches(32, 8, 1, 0), stores)
+	var reads0 int64
+	for _, s := range stores {
+		reads0 += s.Stats().BackingReads
+	}
+	if reads0 != 32 {
+		t.Fatalf("epoch-0 backing reads = %d, want 32", reads0)
+	}
+	// Epochs 1-3: shuffled → zero further backing reads, exchange instead.
+	for epoch := 1; epoch <= 3; epoch++ {
+		runEpoch(t, w, ds, ModeDynamic, epochBatches(32, 8, 1, epoch), stores)
+	}
+	var reads, remote int64
+	for _, s := range stores {
+		reads += s.Stats().BackingReads
+		remote += s.Stats().RemoteSamples
+	}
+	if reads != 32 {
+		t.Fatalf("steady-state backing reads = %d, want 32 (no new reads)", reads)
+	}
+	if remote == 0 {
+		t.Fatal("shuffled epochs must exchange samples between ranks")
+	}
+}
+
+func TestPreloadOwnershipByFile(t *testing.T) {
+	ds := makeBundleDS(t, 6, 4, 5)
+	w := comm.NewWorld(3)
+	stores := newStores(w, ds, ModePreload)
+	w.Run(func(c *comm.Comm) {
+		if err := stores[c.Rank()].Preload(); err != nil {
+			t.Error(err)
+		}
+	})
+	// Files round-robin over 3 ranks: rank r owns files r, r+3.
+	for r, s := range stores {
+		if s.OwnedSamples() != 8 {
+			t.Fatalf("rank %d owns %d samples, want 8", r, s.OwnedSamples())
+		}
+		if s.Stats().FilesPreread != 2 {
+			t.Fatalf("rank %d preread %d files, want 2", r, s.Stats().FilesPreread)
+		}
+	}
+	// Sample 0 lives in file 0 → rank 0; sample 4 in file 1 → rank 1.
+	if stores[0].Owner(0) != 0 || stores[0].Owner(4) != 1 || stores[0].Owner(20) != 2 {
+		t.Fatalf("ownership wrong: %d %d %d", stores[0].Owner(0), stores[0].Owner(4), stores[0].Owner(20))
+	}
+	// Training epochs read nothing from the files.
+	before := stores[0].Stats().BackingReads
+	runEpoch(t, w, ds, ModePreload, epochBatches(24, 6, 2, 1), stores)
+	if stores[0].Stats().BackingReads != before {
+		t.Fatal("preloaded store must not touch the backing dataset during training")
+	}
+}
+
+func TestPreloadRequiresPreloadMode(t *testing.T) {
+	ds := makeBundleDS(t, 2, 2, 5)
+	w := comm.NewWorld(2)
+	stores := newStores(w, ds, ModeDynamic)
+	if err := stores[0].Preload(); err == nil {
+		t.Fatal("Preload outside ModePreload must error")
+	}
+}
+
+func TestFetchPartCountValidation(t *testing.T) {
+	ds := makeBundleDS(t, 2, 4, 5)
+	w := comm.NewWorld(2)
+	stores := newStores(w, ds, ModePreload)
+	w.Run(func(c *comm.Comm) {
+		if c.Rank() == 0 {
+			if _, err := stores[0].FetchAsync([][]int{{0}}); err == nil {
+				t.Error("wrong part count must error")
+			}
+		}
+	})
+}
+
+func TestFetchOverlapAsync(t *testing.T) {
+	ds := makeBundleDS(t, 2, 8, 5)
+	w := comm.NewWorld(2)
+	stores := newStores(w, ds, ModePreload)
+	w.Run(func(c *comm.Comm) {
+		if err := stores[c.Rank()].Preload(); err != nil {
+			t.Error(err)
+			return
+		}
+	})
+	w.Run(func(c *comm.Comm) {
+		s := stores[c.Rank()]
+		batches := epochBatches(16, 4, 3, 1)
+		pending, err := s.FetchAsync(partsFor(batches[0], 2))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// "Compute" happens here, then the batch must still assemble.
+		m, err := pending.Wait()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if m.Rows != 2 {
+			t.Errorf("rows = %d", m.Rows)
+		}
+	})
+}
+
+func TestUnevenBatchParts(t *testing.T) {
+	// 7 samples over 2 ranks: parts of 4 and 3.
+	ds := makeBundleDS(t, 1, 7, 5)
+	w := comm.NewWorld(2)
+	stores := newStores(w, ds, ModePreload)
+	w.Run(func(c *comm.Comm) {
+		if err := stores[c.Rank()].Preload(); err != nil {
+			t.Error(err)
+		}
+	})
+	runEpoch(t, w, ds, ModePreload, [][]int{{6, 5, 4, 3, 2, 1, 0}}, stores)
+}
+
+func TestSingleRankStoreLocalOnly(t *testing.T) {
+	ds := makeBundleDS(t, 2, 4, 5)
+	w := comm.NewWorld(1)
+	stores := newStores(w, ds, ModePreload)
+	w.Run(func(c *comm.Comm) {
+		s := stores[0]
+		if err := s.Preload(); err != nil {
+			t.Error(err)
+			return
+		}
+		m, err := s.Fetch([][]int{{3, 1, 7}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if m.At(0, 0) != 3 || m.At(2, 0) != 7 {
+			t.Errorf("content wrong: %v", m)
+		}
+	})
+	st := stores[0].Stats()
+	if st.BytesSent != 0 || st.RemoteSamples != 0 {
+		t.Fatalf("single rank must not communicate: %+v", st)
+	}
+}
+
+func TestDynamicOwnershipConsistentAcrossRanks(t *testing.T) {
+	ds := makeBundleDS(t, 2, 8, 5)
+	w := comm.NewWorld(4)
+	stores := newStores(w, ds, ModeDynamic)
+	runEpoch(t, w, ds, ModeDynamic, epochBatches(16, 8, 9, 0), stores)
+	for i := 0; i < 16; i++ {
+		o := stores[0].Owner(i)
+		if o < 0 {
+			t.Fatalf("sample %d unowned after epoch 0", i)
+		}
+		for r := 1; r < 4; r++ {
+			if stores[r].Owner(i) != o {
+				t.Fatalf("sample %d: rank %d thinks owner %d, rank 0 thinks %d", i, r, stores[r].Owner(i), o)
+			}
+		}
+	}
+}
+
+func TestStoreBytesAndImbalance(t *testing.T) {
+	ds := makeBundleDS(t, 4, 4, 5)
+	w := comm.NewWorld(2)
+	stores := newStores(w, ds, ModePreload)
+	w.Run(func(c *comm.Comm) {
+		s := stores[c.Rank()]
+		if err := s.Preload(); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := s.StoreBytes(); got != float64(8*4*5) {
+			t.Errorf("StoreBytes = %v, want %v", got, 8*4*5)
+		}
+		if f := s.ImbalanceFactor(); f != 1 {
+			t.Errorf("balanced preload imbalance = %v, want 1", f)
+		}
+	})
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeNone.String() == "" || ModeDynamic.String() == "" || ModePreload.String() == "" {
+		t.Fatal("modes must have names")
+	}
+	if Mode(42).String() == "" {
+		t.Fatal("unknown mode must still render")
+	}
+}
+
+func BenchmarkFetchPreloaded4Ranks(b *testing.B) {
+	ds := makeBundleDS(b, 4, 64, 32)
+	w := comm.NewWorld(4)
+	stores := make([]*Store, 4)
+	w.Run(func(c *comm.Comm) {
+		stores[c.Rank()] = New(c, ds, ModePreload)
+		if err := stores[c.Rank()].Preload(); err != nil {
+			b.Error(err)
+		}
+	})
+	batches := epochBatches(256, 32, 5, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := batches[i%len(batches)]
+		w.Run(func(c *comm.Comm) {
+			if _, err := stores[c.Rank()].Fetch(partsFor(batch, 4)); err != nil {
+				b.Error(err)
+			}
+		})
+	}
+}
+
+func TestCapacityPreloadFailsWhenTooSmall(t *testing.T) {
+	ds := makeBundleDS(t, 4, 4, 5)
+	w := comm.NewWorld(2)
+	errs := make([]error, 2)
+	w.Run(func(c *comm.Comm) {
+		s := New(c, ds, ModePreload)
+		s.SetCapacity(3) // each rank owns 8 samples
+		errs[c.Rank()] = s.Preload()
+	})
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d preload should fail over capacity", r)
+		}
+	}
+}
+
+func TestCapacityDynamicEvictsAndRereads(t *testing.T) {
+	ds := makeBundleDS(t, 2, 16, 5)
+	w := comm.NewWorld(1)
+	var st Stats
+	w.Run(func(c *comm.Comm) {
+		s := New(c, ds, ModeDynamic)
+		s.SetCapacity(8)
+		if s.Capacity() != 8 {
+			t.Error("capacity not recorded")
+			return
+		}
+		// Two epochs over 32 samples with only 8 cache slots: the second
+		// epoch must re-read evicted samples from the backing store.
+		for epoch := 0; epoch < 2; epoch++ {
+			for _, b := range epochBatches(32, 8, 4, epoch) {
+				if _, err := s.Fetch(partsFor(b, 1)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		if s.OwnedSamples() > 8 {
+			t.Errorf("cache grew to %d despite capacity 8", s.OwnedSamples())
+		}
+		st = s.Stats()
+	})
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under the capacity bound")
+	}
+	if st.BackingReads <= 32 {
+		t.Fatalf("expected re-reads after eviction, got %d backing reads", st.BackingReads)
+	}
+}
+
+func TestCapacityUnlimitedByDefault(t *testing.T) {
+	ds := makeBundleDS(t, 2, 8, 5)
+	w := comm.NewWorld(1)
+	w.Run(func(c *comm.Comm) {
+		s := New(c, ds, ModeDynamic)
+		for _, b := range epochBatches(16, 8, 4, 0) {
+			if _, err := s.Fetch(partsFor(b, 1)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if s.Stats().Evictions != 0 {
+			t.Error("unlimited store must not evict")
+		}
+	})
+}

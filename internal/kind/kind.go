@@ -1,0 +1,75 @@
+// Package kind implements the partitioned K-independent training baseline
+// of Section IV-E: K trainers each train a model on a random 1/K subset of
+// the data with no tournaments, and the best final model is selected by
+// validation loss. The paper uses it to show why LTFB's model exchange
+// matters — every K-independent trainer is confined to an ever-diminishing
+// slice of the data, so its generalization degrades as K grows, while LTFB
+// models survive exposure to many silos.
+package kind
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/reader"
+	"repro/internal/trainer"
+)
+
+// Result is one trainer's view of the final selection.
+type Result struct {
+	TrainerID int
+	// MyLoss is this trainer's final validation loss.
+	MyLoss float64
+	// Losses holds every trainer's final validation loss by trainer id.
+	Losses []float64
+	// BestTrainer is the arg-min of Losses.
+	BestTrainer int
+	// BestLoss is the winning validation loss.
+	BestLoss float64
+}
+
+// Member is one rank's participation in a K-independent run. World ranks
+// are laid out in contiguous trainer blocks, as in package ltfb.
+type Member struct {
+	TrainerID   int
+	NumTrainers int
+	World       *comm.Comm
+	T           *trainer.Trainer
+}
+
+// Train advances this member's trainer the given number of steps, then
+// evaluates on val and performs the global best-model selection. Collective
+// across all world ranks.
+func (m *Member) Train(steps int, val reader.Dataset, evalBatch int) (Result, error) {
+	res := Result{TrainerID: m.TrainerID, BestTrainer: -1}
+	if m.NumTrainers < 1 {
+		return res, fmt.Errorf("kind: %d trainers", m.NumTrainers)
+	}
+	if err := m.T.Advance(steps); err != nil {
+		return res, err
+	}
+	loss, err := m.T.Evaluate(val, evalBatch)
+	if err != nil {
+		return res, err
+	}
+	res.MyLoss = loss
+
+	// Every world rank contributes its trainer's loss; ranks of one trainer
+	// contribute identical values, so per-trainer losses can be read off
+	// block-wise.
+	all := m.World.AllgatherFloat64(loss)
+	ranksPer := m.World.Size() / m.NumTrainers
+	res.Losses = make([]float64, m.NumTrainers)
+	for k := 0; k < m.NumTrainers; k++ {
+		res.Losses[k] = all[k*ranksPer]
+	}
+	res.BestTrainer = 0
+	res.BestLoss = res.Losses[0]
+	for k, l := range res.Losses {
+		if l < res.BestLoss {
+			res.BestLoss = l
+			res.BestTrainer = k
+		}
+	}
+	return res, nil
+}

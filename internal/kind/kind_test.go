@@ -1,0 +1,100 @@
+package kind
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/cyclegan"
+	"repro/internal/datastore"
+	"repro/internal/jag"
+	"repro/internal/reader"
+	"repro/internal/trainer"
+)
+
+func tinySurrogate(seed int64) *cyclegan.Surrogate {
+	cfg := cyclegan.DefaultConfig(jag.Tiny8)
+	cfg.EncoderHidden = []int{24}
+	cfg.ForwardHidden = []int{16}
+	cfg.InverseHidden = []int{12}
+	cfg.DiscHidden = []int{12}
+	return cyclegan.New(cfg, seed)
+}
+
+func jagDataset(t testing.TB, start, n int) *reader.SliceDataset {
+	t.Helper()
+	recs := make([][]float32, n)
+	for i := range recs {
+		recs[i] = jag.SimulateAt(jag.Tiny8, start+i).Flatten()
+	}
+	ds, err := reader.NewSliceDataset(jag.Tiny8.SampleDim(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestKIndependentSelectsBest(t *testing.T) {
+	const k, ranksPer = 3, 2
+	w := comm.NewWorld(k * ranksPer)
+	val := jagDataset(t, 9000, 24)
+	results := make([]Result, k*ranksPer)
+	// Trainer 2 trains 25 steps, others 1: trainer 2 should win.
+	steps := []int{1, 1, 25}
+	w.Run(func(wc *comm.Comm) {
+		trainerID := wc.Rank() / ranksPer
+		tc := wc.Split(trainerID, 0)
+		ds := jagDataset(t, trainerID*300, 48)
+		store := datastore.New(tc, ds, datastore.ModeDynamic)
+		tr, err := trainer.New(trainer.Config{
+			ID: trainerID, BatchSize: 16, XDim: jag.InputDim, ShuffleSeed: int64(trainerID),
+		}, tc, tinySurrogate(int64(trainerID)), store, ds)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m := &Member{TrainerID: trainerID, NumTrainers: k, World: wc, T: tr}
+		res, err := m.Train(steps[trainerID], val, 8)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		results[wc.Rank()] = res
+	})
+	for r, res := range results {
+		if res.BestTrainer != 2 {
+			t.Fatalf("rank %d selected trainer %d (losses %v), want 2", r, res.BestTrainer, res.Losses)
+		}
+		if len(res.Losses) != k {
+			t.Fatalf("rank %d has %d losses", r, len(res.Losses))
+		}
+		if res.BestLoss != res.Losses[2] {
+			t.Fatalf("rank %d best loss inconsistent: %+v", r, res)
+		}
+	}
+	// All ranks agree on the full loss vector.
+	for r := 1; r < k*ranksPer; r++ {
+		for i := range results[0].Losses {
+			if results[r].Losses[i] != results[0].Losses[i] {
+				t.Fatalf("loss vectors disagree across ranks: %v vs %v", results[r].Losses, results[0].Losses)
+			}
+		}
+	}
+}
+
+func TestTrainRejectsBadConfig(t *testing.T) {
+	w := comm.NewWorld(1)
+	val := jagDataset(t, 100, 16)
+	w.Run(func(wc *comm.Comm) {
+		ds := jagDataset(t, 0, 32)
+		store := datastore.New(wc, ds, datastore.ModeDynamic)
+		tr, err := trainer.New(trainer.Config{BatchSize: 16, XDim: jag.InputDim}, wc, tinySurrogate(1), store, ds)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m := &Member{TrainerID: 0, NumTrainers: 0, World: wc, T: tr}
+		if _, err := m.Train(1, val, 8); err == nil {
+			t.Error("0 trainers must error")
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package ltfb
+
+// Lineage tracking: the paper argues that "even though each trainer only
+// exposes a model to a subset of the data, models that survive LTFB are
+// likely to have been exposed to many trainers at different times, and thus
+// are expected to capture the characteristics of the entire dataset"
+// (Section III-C). A Lineage records exactly that exposure: the set of
+// trainers (data silos) whose partitions a model has been trained on. It
+// travels with the generator payload during tournaments as a fixed-size
+// bitset, and merging on adoption makes exposure monotone.
+
+// Lineage is a bitset over trainer IDs.
+type Lineage []byte
+
+// NewLineage returns a lineage over numTrainers silos containing only self.
+func NewLineage(numTrainers, self int) Lineage {
+	l := make(Lineage, (numTrainers+7)/8)
+	l.Add(self)
+	return l
+}
+
+// Add marks trainer id as visited.
+func (l Lineage) Add(id int) {
+	if id < 0 || id >= len(l)*8 {
+		return
+	}
+	l[id/8] |= 1 << (id % 8)
+}
+
+// Has reports whether trainer id has been visited.
+func (l Lineage) Has(id int) bool {
+	if id < 0 || id >= len(l)*8 {
+		return false
+	}
+	return l[id/8]&(1<<(id%8)) != 0
+}
+
+// Merge ors other into l; both must have the same size.
+func (l Lineage) Merge(other Lineage) {
+	for i := range l {
+		if i < len(other) {
+			l[i] |= other[i]
+		}
+	}
+}
+
+// Count returns the number of visited silos.
+func (l Lineage) Count() int {
+	n := 0
+	for _, b := range l {
+		for ; b != 0; b &= b - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Silos lists the visited trainer IDs in increasing order.
+func (l Lineage) Silos() []int {
+	var out []int
+	for id := 0; id < len(l)*8; id++ {
+		if l.Has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (l Lineage) Clone() Lineage { return append(Lineage(nil), l...) }

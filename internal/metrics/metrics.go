@@ -1,0 +1,208 @@
+// Package metrics provides the measurement and reporting helpers the
+// experiment harness uses: running meters, speedup/efficiency arithmetic,
+// per-scalar correlation for the prediction-quality figures, and fixed-width
+// text tables for the regenerated results.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Meter tracks a running mean, min and max of a scalar series.
+type Meter struct {
+	n          int
+	mean       float64
+	minV, maxV float64
+}
+
+// Add folds one observation into the meter.
+func (m *Meter) Add(v float64) {
+	if m.n == 0 {
+		m.minV, m.maxV = v, v
+	}
+	m.n++
+	m.mean += (v - m.mean) / float64(m.n)
+	if v < m.minV {
+		m.minV = v
+	}
+	if v > m.maxV {
+		m.maxV = v
+	}
+}
+
+// Count returns the number of observations.
+func (m *Meter) Count() int { return m.n }
+
+// Mean returns the running mean (0 when empty).
+func (m *Meter) Mean() float64 { return m.mean }
+
+// Min returns the smallest observation (0 when empty).
+func (m *Meter) Min() float64 { return m.minV }
+
+// Max returns the largest observation (0 when empty).
+func (m *Meter) Max() float64 { return m.maxV }
+
+// Speedup returns baseline/t for each time in times.
+func Speedup(baseline float64, times []float64) []float64 {
+	out := make([]float64, len(times))
+	for i, t := range times {
+		if t > 0 {
+			out[i] = baseline / t
+		}
+	}
+	return out
+}
+
+// Efficiency returns speedup divided by resource scale for each point —
+// the paper's parallel efficiency (109% at 64 trainers).
+func Efficiency(speedups, scales []float64) []float64 {
+	out := make([]float64, len(speedups))
+	for i := range speedups {
+		if scales[i] > 0 {
+			out[i] = speedups[i] / scales[i]
+		}
+	}
+	return out
+}
+
+// Pearson returns the linear correlation of two equal-length series, or 0
+// for degenerate input. The Figure 7 reproduction reports it per scalar.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// MAE returns the mean absolute difference of two equal-length series.
+func MAE(a, b []float64) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}
+
+// Table is a fixed-width text table for regenerated paper results.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v for non-strings and
+// %.4g for floats.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// sparkChars are the eight block glyphs Sparkline maps values onto.
+var sparkChars = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a compact unicode strip, for showing loss
+// trajectories inline in experiment logs. An empty or constant series
+// renders as mid-height blocks.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		idx := len(sparkChars) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkChars)-1))
+		}
+		out[i] = sparkChars[idx]
+	}
+	return string(out)
+}

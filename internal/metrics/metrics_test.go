@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	if m.Count() != 0 || m.Mean() != 0 {
+		t.Fatal("zero meter must be empty")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		m.Add(v)
+	}
+	if m.Count() != 3 || m.Mean() != 4 || m.Min() != 2 || m.Max() != 6 {
+		t.Fatalf("meter state wrong: n=%d mean=%v min=%v max=%v", m.Count(), m.Mean(), m.Min(), m.Max())
+	}
+}
+
+func TestMeterMeanMatchesDirectAverage(t *testing.T) {
+	f := func(vals []float64) bool {
+		var m Meter
+		var sum float64
+		ok := 0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			m.Add(v)
+			sum += v
+			ok++
+		}
+		if ok == 0 {
+			return m.Count() == 0
+		}
+		return math.Abs(m.Mean()-sum/float64(ok)) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	sp := Speedup(100, []float64{100, 50, 25, 0})
+	want := []float64{1, 2, 4, 0}
+	for i := range want {
+		if sp[i] != want[i] {
+			t.Fatalf("speedup = %v", sp)
+		}
+	}
+	eff := Efficiency([]float64{1, 2, 4}, []float64{1, 2, 8})
+	if eff[0] != 1 || eff[1] != 1 || eff[2] != 0.5 {
+		t.Fatalf("efficiency = %v", eff)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := Pearson(a, []float64{2, 4, 6, 8}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %v", got)
+	}
+	if got := Pearson(a, []float64{8, 6, 4, 2}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %v", got)
+	}
+	if got := Pearson(a, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant series correlation = %v", got)
+	}
+	if got := Pearson(a, []float64{1}); got != 0 {
+		t.Fatalf("mismatched lengths = %v", got)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	if got := MAE([]float64{1, 2}, []float64{2, 4}); got != 1.5 {
+		t.Fatalf("MAE = %v", got)
+	}
+	if got := MAE(nil, nil); got != 0 {
+		t.Fatalf("empty MAE = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Figure 9", "GPUs", "Epoch (s)", "Speedup")
+	tb.AddRow(1, 100.0, 1.0)
+	tb.AddRow(16, float32(10.7), "9.36x")
+	out := tb.Render()
+	if !strings.Contains(out, "Figure 9") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "GPUs") || !strings.Contains(out, "9.36x") {
+		t.Fatalf("table content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the separator positions.
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("missing rule line:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty series must render empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length wrong: %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	if flat[0] != flat[1] || flat[1] != flat[2] {
+		t.Fatalf("constant series must be uniform: %q", string(flat))
+	}
+}

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MarshalNetworks serializes a set of networks into one buffer — the LTFB
+// exchange payload (Figure 6b ships the generator-side networks together):
+//
+//	magic "NNS1" | uint32 netCount | netCount × (uint32 len | weights blob)
+func MarshalNetworks(nets []*Network) []byte {
+	buf := []byte("NNS1")
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(nets)))
+	for _, n := range nets {
+		w := n.MarshalWeights()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w)))
+		buf = append(buf, w...)
+	}
+	return buf
+}
+
+// UnmarshalNetworks loads a MarshalNetworks buffer into nets, which must
+// match in count and per-network architecture.
+func UnmarshalNetworks(nets []*Network, buf []byte) error {
+	if len(buf) < 8 || string(buf[:4]) != "NNS1" {
+		return fmt.Errorf("nn: network-set buffer missing magic")
+	}
+	count := int(binary.LittleEndian.Uint32(buf[4:8]))
+	if count != len(nets) {
+		return fmt.Errorf("nn: buffer holds %d networks, want %d", count, len(nets))
+	}
+	off := 8
+	for i, n := range nets {
+		if len(buf) < off+4 {
+			return fmt.Errorf("nn: network-set buffer truncated at net %d", i)
+		}
+		l := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if len(buf) < off+l {
+			return fmt.Errorf("nn: network-set buffer truncated in net %d", i)
+		}
+		if err := n.UnmarshalWeights(buf[off : off+l]); err != nil {
+			return fmt.Errorf("nn: net %d (%s): %w", i, n.Name, err)
+		}
+		off += l
+	}
+	if off != len(buf) {
+		return fmt.Errorf("nn: network-set buffer has %d trailing bytes", len(buf)-off)
+	}
+	return nil
+}

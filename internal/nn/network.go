@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Network is an ordered stack of layers trained as a unit — the analogue of
+// an LBANN "model". Networks are not safe for concurrent use.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// Forward runs the whole stack on mini-batch x.
+func (n *Network) Forward(x *tensor.Matrix, training bool) *tensor.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x, training)
+	}
+	return x
+}
+
+// Backward propagates dLoss/dOutput through the stack in reverse, returning
+// dLoss/dInput. Parameter gradients accumulate into each Param's Grad.
+func (n *Network) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dy = n.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W.Data)
+	}
+	return total
+}
+
+// CopyWeightsFrom overwrites n's weights with src's. The two networks must
+// have identical parameter shapes (i.e. the same architecture); it panics
+// otherwise. Gradients are not copied.
+func (n *Network) CopyWeightsFrom(src *Network) {
+	dst := n.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		panic(fmt.Sprintf("nn: CopyWeightsFrom param count %d vs %d", len(from), len(dst)))
+	}
+	for i, p := range dst {
+		p.W.CopyFrom(from[i].W)
+	}
+}
+
+// GradNorm returns the Frobenius norm of the concatenated gradient, useful
+// for divergence diagnostics.
+func (n *Network) GradNorm() float64 {
+	var s float64
+	for _, p := range n.Params() {
+		v := tensor.Norm2(p.Grad)
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Activation names an elementwise nonlinearity for Spec-driven construction.
+type Activation string
+
+// Supported activations for MLP construction.
+const (
+	ActNone      Activation = "none"
+	ActReLU      Activation = "relu"
+	ActLeakyReLU Activation = "lrelu"
+	ActTanh      Activation = "tanh"
+	ActSigmoid   Activation = "sigmoid"
+)
+
+// newActivation returns the layer for name, or nil for ActNone.
+func newActivation(a Activation) Layer {
+	switch a {
+	case ActNone:
+		return nil
+	case ActReLU:
+		return &ReLU{}
+	case ActLeakyReLU:
+		return &LeakyReLU{Alpha: 0.2}
+	case ActTanh:
+		return &Tanh{}
+	case ActSigmoid:
+		return &Sigmoid{}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %q", a))
+	}
+}
+
+// MLP builds a fully-connected network with the given layer widths. dims has
+// at least two entries (input and output width); hidden is applied after
+// every layer except the last, output after the last (ActNone for a linear
+// head). The rng seeds the weight initialization, so two MLPs built with
+// identically-seeded rngs are identical.
+func MLP(name string, dims []int, hidden, output Activation, rng *rand.Rand) *Network {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	net := &Network{Name: name}
+	for i := 0; i+1 < len(dims); i++ {
+		net.Layers = append(net.Layers, NewLinear(dims[i], dims[i+1], rng))
+		last := i+2 == len(dims)
+		var act Layer
+		if last {
+			act = newActivation(output)
+		} else {
+			act = newActivation(hidden)
+		}
+		if act != nil {
+			net.Layers = append(net.Layers, act)
+		}
+	}
+	return net
+}

@@ -1,0 +1,336 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// numericGrad estimates dLoss/dparam by central differences for a scalar
+// loss function of the whole network output.
+func numericGrad(net *Network, x, target *tensor.Matrix, loss func(pred, target *tensor.Matrix) (float64, *tensor.Matrix), p *Param, idx int) float64 {
+	const eps = 1e-3
+	orig := p.W.Data[idx]
+	p.W.Data[idx] = orig + eps
+	up, _ := loss(net.Forward(x, false), target)
+	p.W.Data[idx] = orig - eps
+	down, _ := loss(net.Forward(x, false), target)
+	p.W.Data[idx] = orig
+	return (up - down) / (2 * eps)
+}
+
+func gradCheck(t *testing.T, net *Network, lossFn func(pred, target *tensor.Matrix) (float64, *tensor.Matrix), inDim, outDim int, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	x := tensor.New(5, inDim)
+	tensor.FillGaussian(x, rng, 0, 1)
+	target := tensor.New(5, outDim)
+	tensor.FillUniform(target, rng, 0.1, 0.9)
+
+	net.ZeroGrad()
+	pred := net.Forward(x, false)
+	_, dy := lossFn(pred, target)
+	net.Backward(dy)
+
+	for _, p := range net.Params() {
+		stride := len(p.W.Data)/5 + 1
+		for idx := 0; idx < len(p.W.Data); idx += stride {
+			want := numericGrad(net, x, target, lossFn, p, idx)
+			got := float64(p.Grad.Data[idx])
+			if math.Abs(got-want) > tol*(1+math.Abs(want)) {
+				t.Fatalf("param %s[%d]: analytic %g vs numeric %g", p.Name, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestGradientCheckLinearMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := MLP("lin", []int{4, 3}, ActNone, ActNone, rng)
+	gradCheck(t, net, MSE, 4, 3, 1e-2)
+}
+
+func TestGradientCheckDeepTanhMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := MLP("deep", []int{6, 8, 8, 2}, ActTanh, ActNone, rng)
+	gradCheck(t, net, MSE, 6, 2, 2e-2)
+}
+
+func TestGradientCheckLeakyReLUBCE(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := MLP("disc", []int{5, 8, 1}, ActLeakyReLU, ActNone, rng)
+	gradCheck(t, net, BCEWithLogits, 5, 1, 2e-2)
+}
+
+func TestGradientCheckSigmoidHead(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := MLP("sig", []int{3, 6, 2}, ActReLU, ActSigmoid, rng)
+	gradCheck(t, net, MSE, 3, 2, 2e-2)
+}
+
+func TestMLPDeterministicConstruction(t *testing.T) {
+	a := MLP("a", []int{5, 7, 3}, ActReLU, ActNone, rand.New(rand.NewSource(9)))
+	b := MLP("b", []int{5, 7, 3}, ActReLU, ActNone, rand.New(rand.NewSource(9)))
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if !pa[i].W.Equal(pb[i].W) {
+			t.Fatalf("same seed produced different weights at param %d", i)
+		}
+	}
+	c := MLP("c", []int{5, 7, 3}, ActReLU, ActNone, rand.New(rand.NewSource(10)))
+	if c.Params()[0].W.Equal(pa[0].W) {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+func TestCopyWeightsFrom(t *testing.T) {
+	src := MLP("src", []int{4, 6, 2}, ActTanh, ActNone, rand.New(rand.NewSource(11)))
+	dst := MLP("dst", []int{4, 6, 2}, ActTanh, ActNone, rand.New(rand.NewSource(12)))
+	dst.CopyWeightsFrom(src)
+	ps, pd := src.Params(), dst.Params()
+	for i := range ps {
+		if !ps[i].W.Equal(pd[i].W) {
+			t.Fatalf("param %d not copied", i)
+		}
+	}
+	// The copy must be deep: mutating dst must not touch src.
+	pd[0].W.Data[0] += 1
+	if ps[0].W.Data[0] == pd[0].W.Data[0] {
+		t.Fatal("CopyWeightsFrom aliased storage")
+	}
+}
+
+func TestCopyWeightsMismatchPanics(t *testing.T) {
+	src := MLP("src", []int{4, 2}, ActNone, ActNone, rand.New(rand.NewSource(13)))
+	dst := MLP("dst", []int{4, 6, 2}, ActNone, ActNone, rand.New(rand.NewSource(14)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched architectures")
+		}
+	}()
+	dst.CopyWeightsFrom(src)
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	net := MLP("rt", []int{7, 9, 4}, ActLeakyReLU, ActTanh, rand.New(rand.NewSource(15)))
+	buf := net.MarshalWeights()
+	if len(buf) != net.WeightsSize() {
+		t.Fatalf("WeightsSize %d != marshalled %d", net.WeightsSize(), len(buf))
+	}
+	clone := MLP("clone", []int{7, 9, 4}, ActLeakyReLU, ActTanh, rand.New(rand.NewSource(16)))
+	if err := clone.UnmarshalWeights(buf); err != nil {
+		t.Fatal(err)
+	}
+	po, pc := net.Params(), clone.Params()
+	for i := range po {
+		if !po[i].W.Equal(pc[i].W) {
+			t.Fatalf("param %d differs after round trip", i)
+		}
+	}
+}
+
+func TestUnmarshalWeightsErrors(t *testing.T) {
+	net := MLP("err", []int{3, 2}, ActNone, ActNone, rand.New(rand.NewSource(17)))
+	buf := net.MarshalWeights()
+
+	if err := net.UnmarshalWeights(buf[:3]); err == nil {
+		t.Fatal("want error for truncated magic")
+	}
+	bad := append([]byte("XXXX"), buf[4:]...)
+	if err := net.UnmarshalWeights(bad); err == nil {
+		t.Fatal("want error for wrong magic")
+	}
+	if err := net.UnmarshalWeights(buf[:len(buf)-2]); err == nil {
+		t.Fatal("want error for truncated data")
+	}
+	if err := net.UnmarshalWeights(append(buf, 0)); err == nil {
+		t.Fatal("want error for trailing bytes")
+	}
+	other := MLP("other", []int{3, 5}, ActNone, ActNone, rand.New(rand.NewSource(18)))
+	if err := other.UnmarshalWeights(buf); err == nil {
+		t.Fatal("want error for shape mismatch")
+	}
+}
+
+// Property: marshal→unmarshal is the identity for arbitrary architectures.
+func TestWeightsRoundTripProperty(t *testing.T) {
+	f := func(seed int64, d1, d2 uint8) bool {
+		dims := []int{int(d1%7) + 1, int(d2%9) + 1, int(d1%3) + 1}
+		a := MLP("a", dims, ActReLU, ActNone, rand.New(rand.NewSource(seed)))
+		b := MLP("b", dims, ActReLU, ActNone, rand.New(rand.NewSource(seed+1)))
+		if err := b.UnmarshalWeights(a.MarshalWeights()); err != nil {
+			return false
+		}
+		pa, pb := a.Params(), b.Params()
+		for i := range pa {
+			if !pa[i].W.Equal(pb[i].W) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossValuesKnownInputs(t *testing.T) {
+	pred := tensor.FromSlice(1, 2, []float32{1, -1})
+	target := tensor.FromSlice(1, 2, []float32{0, 1})
+	mae, g := MAE(pred, target)
+	if math.Abs(mae-1.5) > 1e-6 {
+		t.Fatalf("MAE = %v, want 1.5", mae)
+	}
+	if g.Data[0] != 0.5 || g.Data[1] != -0.5 {
+		t.Fatalf("MAE grad = %v", g.Data)
+	}
+	mse, g2 := MSE(pred, target)
+	if math.Abs(mse-2.5) > 1e-6 {
+		t.Fatalf("MSE = %v, want 2.5", mse)
+	}
+	if g2.Data[0] != 1 || g2.Data[1] != -2 {
+		t.Fatalf("MSE grad = %v", g2.Data)
+	}
+	if v := MAEValue(pred, target); math.Abs(v-1.5) > 1e-6 {
+		t.Fatalf("MAEValue = %v", v)
+	}
+}
+
+func TestBCEWithLogitsStability(t *testing.T) {
+	// Extreme logits must not overflow to Inf/NaN.
+	logits := tensor.FromSlice(1, 2, []float32{100, -100})
+	target := tensor.FromSlice(1, 2, []float32{1, 0})
+	loss, g := BCEWithLogits(logits, target)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss = %v", loss)
+	}
+	if loss > 1e-6 {
+		t.Fatalf("confident correct predictions should have ~0 loss, got %v", loss)
+	}
+	if g.HasNaN() {
+		t.Fatal("gradient has NaN")
+	}
+}
+
+func TestBCEWithLogitsChanceLevel(t *testing.T) {
+	logits := tensor.New(4, 1) // all zeros → p = 0.5
+	target := tensor.FromSlice(4, 1, []float32{1, 0, 1, 0})
+	loss, _ := BCEWithLogits(logits, target)
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Fatalf("chance-level BCE = %v, want ln2", loss)
+	}
+}
+
+func TestDropoutSemantics(t *testing.T) {
+	d := &Dropout{Rate: 0.5, Rng: rand.New(rand.NewSource(19))}
+	x := tensor.New(10, 10)
+	x.Fill(1)
+	// Evaluation is the identity and must not allocate a mask.
+	y := d.Forward(x, false)
+	if !y.Equal(x) {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+	dy := tensor.New(10, 10)
+	dy.Fill(1)
+	if !d.Backward(dy).Equal(dy) {
+		t.Fatal("eval-mode backward must be identity")
+	}
+	// Training keeps survivors scaled by 1/(1-rate).
+	y = d.Forward(x, true)
+	zeros, twos := 0, 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros == 0 || twos == 0 {
+		t.Fatalf("dropout should both keep and drop: zeros=%d twos=%d", zeros, twos)
+	}
+	dx := d.Backward(dy)
+	for i, v := range dx.Data {
+		if y.Data[i] == 0 && v != 0 {
+			t.Fatal("gradient must be gated by dropout mask")
+		}
+	}
+}
+
+func TestReinitializeChangesWeights(t *testing.T) {
+	net := MLP("reinit", []int{4, 5, 2}, ActReLU, ActNone, rand.New(rand.NewSource(20)))
+	before := net.MarshalWeights()
+	Reinitialize(net, rand.New(rand.NewSource(21)), HeNormal)
+	after := net.MarshalWeights()
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Reinitialize left weights unchanged")
+	}
+	for _, l := range net.Layers {
+		if lin, ok := l.(*Linear); ok {
+			if tensor.MaxAbs(lin.Bias.W) != 0 {
+				t.Fatal("Reinitialize must zero biases")
+			}
+		}
+	}
+}
+
+func TestNumParamsAndGradNorm(t *testing.T) {
+	net := MLP("np", []int{3, 4, 2}, ActReLU, ActNone, rand.New(rand.NewSource(22)))
+	want := 3*4 + 4 + 4*2 + 2
+	if got := net.NumParams(); got != want {
+		t.Fatalf("NumParams = %d, want %d", got, want)
+	}
+	if net.GradNorm() != 0 {
+		t.Fatal("fresh network must have zero grad norm")
+	}
+	x := tensor.New(2, 3)
+	x.Fill(1)
+	target := tensor.New(2, 2)
+	pred := net.Forward(x, true)
+	_, dy := MSE(pred, target)
+	net.Backward(dy)
+	if net.GradNorm() <= 0 {
+		t.Fatal("grad norm must be positive after backward")
+	}
+	net.ZeroGrad()
+	if net.GradNorm() != 0 {
+		t.Fatal("ZeroGrad must clear gradients")
+	}
+}
+
+func TestForwardTrainingFlagReachesLayers(t *testing.T) {
+	d := &Dropout{Rate: 0.9, Rng: rand.New(rand.NewSource(23))}
+	net := &Network{Name: "flag", Layers: []Layer{d}}
+	x := tensor.New(4, 4)
+	x.Fill(1)
+	if !net.Forward(x, false).Equal(x) {
+		t.Fatal("training=false must reach dropout")
+	}
+}
+
+func BenchmarkMLPForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	net := MLP("bench", []int{64, 256, 256, 64}, ActLeakyReLU, ActNone, rng)
+	x := tensor.New(128, 64)
+	tensor.FillGaussian(x, rng, 0, 1)
+	target := tensor.New(128, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrad()
+		pred := net.Forward(x, true)
+		_, dy := MSE(pred, target)
+		net.Backward(dy)
+	}
+}

@@ -1,0 +1,14 @@
+package nn
+
+// Reducer combines parameter gradients across data-parallel replicas before
+// an optimizer step — the hook through which a trainer injects its
+// allreduce. Models call it once per optimizer phase.
+type Reducer interface {
+	Reduce(params []*Param)
+}
+
+// NopReducer leaves gradients untouched: single-replica training.
+type NopReducer struct{}
+
+// Reduce is a no-op.
+func (NopReducer) Reduce([]*Param) {}

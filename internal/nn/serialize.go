@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Weight serialization backs the LTFB model exchange: when two trainers pair
+// up they swap generator weights over the communication layer (Figure 6b), so
+// a network must round-trip through a flat byte buffer. The format is
+// deliberately simple and versioned:
+//
+//	magic "NNW1" | uint32 paramCount | for each param:
+//	  uint32 rows | uint32 cols | rows*cols little-endian float32
+//
+// Architecture metadata is not encoded; both sides of an exchange construct
+// the same architecture locally (as LBANN does) and only weights travel.
+
+const weightsMagic = "NNW1"
+
+// WeightsSize returns the exact byte length MarshalWeights will produce,
+// which the performance model uses as the exchange volume.
+func (n *Network) WeightsSize() int {
+	size := 4 + 4
+	for _, p := range n.Params() {
+		size += 8 + 4*len(p.W.Data)
+	}
+	return size
+}
+
+// MarshalWeights serializes all parameters into a fresh buffer.
+func (n *Network) MarshalWeights() []byte {
+	buf := make([]byte, 0, n.WeightsSize())
+	buf = append(buf, weightsMagic...)
+	params := n.Params()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(params)))
+	for _, p := range params {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.W.Rows))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.W.Cols))
+		for _, v := range p.W.Data {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	}
+	return buf
+}
+
+// UnmarshalWeights overwrites n's parameters with the contents of buf, which
+// must have been produced by MarshalWeights on a network with identical
+// architecture. It returns an error (leaving already-copied parameters
+// modified) on any mismatch or truncation.
+func (n *Network) UnmarshalWeights(buf []byte) error {
+	if len(buf) < 8 || string(buf[:4]) != weightsMagic {
+		return fmt.Errorf("nn: weight buffer missing %q magic", weightsMagic)
+	}
+	params := n.Params()
+	count := binary.LittleEndian.Uint32(buf[4:8])
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: weight buffer has %d params, network has %d", count, len(params))
+	}
+	off := 8
+	for _, p := range params {
+		if len(buf) < off+8 {
+			return fmt.Errorf("nn: weight buffer truncated at param %q header", p.Name)
+		}
+		rows := int(binary.LittleEndian.Uint32(buf[off:]))
+		cols := int(binary.LittleEndian.Uint32(buf[off+4:]))
+		off += 8
+		if rows != p.W.Rows || cols != p.W.Cols {
+			return fmt.Errorf("nn: param %q shape %dx%d in buffer, want %dx%d", p.Name, rows, cols, p.W.Rows, p.W.Cols)
+		}
+		need := 4 * rows * cols
+		if len(buf) < off+need {
+			return fmt.Errorf("nn: weight buffer truncated in param %q data", p.Name)
+		}
+		for i := range p.W.Data {
+			p.W.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4*i:]))
+		}
+		off += need
+	}
+	if off != len(buf) {
+		return fmt.Errorf("nn: weight buffer has %d trailing bytes", len(buf)-off)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Package parallel provides a small shared-memory parallel-for used by the
+// numeric kernels in this repository. It plays the role that CUDA kernels and
+// OpenMP loops play inside LBANN/Hydrogen: splitting dense-math inner loops
+// across the hardware's execution units.
+//
+// The package deliberately has no configuration beyond GOMAXPROCS; kernels
+// call For with a grain size and the package decides whether running serially
+// is cheaper than scheduling goroutines.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers reports the number of workers For will use for a sufficiently large
+// loop. It equals GOMAXPROCS at call time.
+func Workers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For executes fn over the half-open index range [lo, hi), splitting it into
+// contiguous chunks of at least grain iterations and running chunks on up to
+// GOMAXPROCS goroutines. fn receives sub-ranges [start, end) and must be safe
+// to call concurrently on disjoint ranges. For blocks until every chunk has
+// completed.
+//
+// If the range is empty For returns immediately. If the range is smaller than
+// grain, or only one worker is available, fn runs once on the caller's
+// goroutine — so For never costs a goroutine for small loops.
+func For(lo, hi, grain int, fn func(start, end int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := Workers()
+	maxChunks := (n + grain - 1) / grain
+	if workers > maxChunks {
+		workers = maxChunks
+	}
+	if workers <= 1 {
+		fn(lo, hi)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := lo; start < hi; start += chunk {
+		end := start + chunk
+		if end > hi {
+			end = hi
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n), parallelized with For using the
+// given grain. It is a convenience wrapper for loops whose body is already
+// chunky enough that per-index dispatch overhead does not matter.
+func ForEach(n, grain int, fn func(i int)) {
+	For(0, n, grain, func(start, end int) {
+		for i := start; i < end; i++ {
+			fn(i)
+		}
+	})
+}

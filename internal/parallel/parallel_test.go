@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	const n = 1000
+	var marks [n]int32
+	For(0, n, 7, func(start, end int) {
+		for i := start; i < end; i++ {
+			atomic.AddInt32(&marks[i], 1)
+		}
+	})
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times, want 1", i, m)
+		}
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	called := false
+	For(5, 5, 1, func(start, end int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+	For(9, 3, 1, func(start, end int) { called = true })
+	if called {
+		t.Fatal("fn called for inverted range")
+	}
+}
+
+func TestForSmallRangeRunsInline(t *testing.T) {
+	var calls int32
+	For(0, 3, 100, func(start, end int) {
+		atomic.AddInt32(&calls, 1)
+		if start != 0 || end != 3 {
+			t.Errorf("got sub-range [%d,%d), want [0,3)", start, end)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+}
+
+func TestForNonPositiveGrain(t *testing.T) {
+	var sum int64
+	For(0, 100, 0, func(start, end int) {
+		var local int64
+		for i := start; i < end; i++ {
+			local += int64(i)
+		}
+		atomic.AddInt64(&sum, local)
+	})
+	if sum != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	const n = 257
+	var marks [n]int32
+	ForEach(n, 8, func(i int) { atomic.AddInt32(&marks[i], 1) })
+	for i, m := range marks {
+		if m != 1 {
+			t.Fatalf("index %d visited %d times, want 1", i, m)
+		}
+	}
+}
+
+// Property: for any range offset and size, every index is visited exactly once
+// regardless of grain.
+func TestForPartitionProperty(t *testing.T) {
+	f := func(loRaw, nRaw, grainRaw uint8) bool {
+		lo := int(loRaw)
+		n := int(nRaw)
+		grain := int(grainRaw)
+		hi := lo + n
+		visited := make([]int32, n)
+		For(lo, hi, grain, func(start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt32(&visited[i-lo], 1)
+			}
+		})
+		for _, v := range visited {
+			if v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	sink := make([]float32, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		For(0, len(sink), 1024, func(start, end int) {
+			for j := start; j < end; j++ {
+				sink[j] += 1
+			}
+		})
+	}
+}

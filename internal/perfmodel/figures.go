@@ -1,0 +1,128 @@
+package perfmodel
+
+import "repro/internal/datastore"
+
+// Figure9Point is one bar of Figure 9: steady-state epoch time of
+// data-parallel training (naive dynamic loading) at a GPU count.
+type Figure9Point struct {
+	GPUs        int
+	SteadyEpoch float64
+}
+
+// fig9GPUs are the x-axis points of Figures 9 and 10.
+var fig9GPUs = []int{1, 2, 4, 8, 16}
+
+// densePlacement packs g GPUs onto standard 4-GPU resource sets. Even a
+// 1-GPU run is launched into a quarter-node resource set (jsrun-style),
+// which is what makes the 1- and 2-GPU preloaded-store points of Figure 10
+// run out of memory, as the paper reports.
+func densePlacement(s *Scenario, g int) {
+	s.GPUsPerTrainer = g
+	s.GPUsPerNode = 4
+}
+
+// Figure9 regenerates the data-parallel scaling study: a single trainer on
+// a 1M-sample set, dynamic loading (no data store), 1→16 GPUs.
+func Figure9() []Figure9Point {
+	var out []Figure9Point
+	for _, g := range fig9GPUs {
+		s := PaperScenario(1_000_000)
+		s.Mode = datastore.ModeNone
+		densePlacement(&s, g)
+		r := s.Epoch()
+		out = append(out, Figure9Point{GPUs: g, SteadyEpoch: r.SteadyEpoch})
+	}
+	return out
+}
+
+// Figure10Point is one bar group of Figure 10: first-epoch and steady-state
+// epoch times for one GPU count and data-store mode.
+type Figure10Point struct {
+	GPUs         int
+	Mode         datastore.Mode
+	Feasible     bool
+	InitialEpoch float64
+	SteadyEpoch  float64
+}
+
+// Figure10 regenerates the data-store comparison on the 1M-sample set: the
+// three ingestion configurations at 1→16 GPUs, initial and steady epochs.
+// Preloaded points at 1 and 2 GPUs come back infeasible, as in the paper.
+func Figure10() []Figure10Point {
+	var out []Figure10Point
+	for _, g := range fig9GPUs {
+		for _, mode := range []datastore.Mode{datastore.ModeNone, datastore.ModeDynamic, datastore.ModePreload} {
+			s := PaperScenario(1_000_000)
+			s.Mode = mode
+			densePlacement(&s, g)
+			r := s.Epoch()
+			out = append(out, Figure10Point{
+				GPUs: g, Mode: mode, Feasible: r.Feasible,
+				InitialEpoch: r.InitialEpoch, SteadyEpoch: r.SteadyEpoch,
+			})
+		}
+	}
+	return out
+}
+
+// Figure11Point is one x-position of Figure 11: LTFB training with k
+// trainers of 16 GPUs each on the 10M-sample set.
+type Figure11Point struct {
+	Trainers    int
+	GPUs        int
+	SteadyEpoch float64 // average per-trainer steady epoch time
+	PreloadTime float64 // time for all trainers to finish preloading
+	Speedup     float64 // vs the 1-trainer baseline
+	Efficiency  float64 // Speedup / Trainers
+}
+
+// fig11Trainers are the x-axis points of Figure 11 (16→1024 GPUs).
+var fig11Trainers = []int{1, 8, 16, 32, 64}
+
+// fig11Scenario builds the LTFB scenario for k trainers. The single-trainer
+// baseline cannot hold the 10M-sample store on 4 packed nodes (the paper's
+// observation), so it runs 16 nodes at 1 GPU per node; every other point
+// uses 4 packed nodes per trainer.
+func fig11Scenario(k int) Scenario {
+	s := PaperScenario(10_000_000)
+	s.ValSamples = 1_000_000
+	s.Trainers = k
+	s.GPUsPerTrainer = 16
+	if k == 1 {
+		s.GPUsPerNode = 1
+	} else {
+		s.GPUsPerNode = 4
+	}
+	return s
+}
+
+// Figure11 regenerates the LTFB strong-scaling study, including the
+// superlinear speedup at 64 trainers and the preload-time rise from
+// file-system interference.
+func Figure11() []Figure11Point {
+	base := fig11Scenario(1).Epoch()
+	var out []Figure11Point
+	for _, k := range fig11Trainers {
+		r := fig11Scenario(k).Epoch()
+		p := Figure11Point{
+			Trainers:    k,
+			GPUs:        16 * k,
+			SteadyEpoch: r.SteadyEpoch,
+			PreloadTime: r.PreloadTime,
+		}
+		if r.SteadyEpoch > 0 {
+			p.Speedup = base.SteadyEpoch / r.SteadyEpoch
+			p.Efficiency = p.Speedup / float64(k)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Fig11Infeasible4NodeBaseline reports the paper's observation that a
+// single trainer on 4 packed nodes cannot hold the 10M-sample data store.
+func Fig11Infeasible4NodeBaseline() Report {
+	s := fig11Scenario(1)
+	s.GPUsPerNode = 4
+	return s.Epoch()
+}

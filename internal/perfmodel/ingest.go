@@ -1,0 +1,110 @@
+package perfmodel
+
+import (
+	"math/rand"
+
+	"repro/internal/des"
+	"repro/internal/pfs"
+)
+
+// ingestWindow is the number of steps the naive-ingestion simulation
+// samples before extrapolating; per-step ingestion is stationary (uniform
+// random file access every step), so a short window converges.
+const ingestWindow = 30
+
+// NaiveIngestPerStep simulates the naive data-reader access pattern on the
+// file-system model and returns the mean per-step ingestion time: each of
+// the trainer's ranks opens and randomly reads its mini-batch share, one
+// sample at a time (Section IV-C's "significant burden on the parallel file
+// system").
+func (s Scenario) NaiveIngestPerStep() float64 {
+	sim := des.New()
+	fs := pfs.New(sim, s.FS)
+	ranks := s.GPUsPerTrainer
+	files := s.TrainSamples / s.SamplesPerFile
+	if files < 1 {
+		files = 1
+	}
+	rng := rand.New(rand.NewSource(12345))
+
+	var total float64
+	for w := 0; w < ingestWindow; w++ {
+		start := sim.Now()
+		for r := 0; r < ranks; r++ {
+			share := s.BatchSize / ranks
+			if r < s.BatchSize%ranks {
+				share++
+			}
+			// Each rank's reads are a sequential chain: open the sample's
+			// file, seek-read the sample, move on.
+			var next func(k int)
+			next = func(k int) {
+				if k >= share {
+					return
+				}
+				f := rng.Intn(files)
+				fs.Open(f, func(float64) {
+					fs.ReadRandom(f, s.SampleBytes, func(float64) { next(k + 1) })
+				})
+			}
+			next(0)
+		}
+		// The trainer cannot start the step before every rank has its
+		// shard: run the chains to completion (the inter-step barrier).
+		sim.Run()
+		total += sim.Now() - start
+	}
+	return total / ingestWindow
+}
+
+// PreloadMakespan simulates every trainer concurrently preloading its data
+// partition (train share plus validation share) from the shared file
+// system and returns the time until the last trainer finishes — the
+// "Data preload" series of Figure 11. Files are assigned contiguously to
+// trainers and round-robin to ranks within a trainer; each rank reads its
+// files sequentially and wholly, the paper's one-process-per-file pattern.
+// Past ~32 trainers the per-OST in-flight depth exceeds saturation and
+// effective bandwidth degrades — the inter-trainer GPFS interference the
+// paper reports at 64 trainers.
+func (s Scenario) PreloadMakespan() float64 {
+	sim := des.New()
+	fs := pfs.New(sim, s.FS)
+	trainFiles := s.TrainSamples / s.SamplesPerFile
+	valFiles := s.ValSamples / s.SamplesPerFile
+	fileBytes := float64(s.SamplesPerFile) * s.SampleBytes
+
+	for tr := 0; tr < s.Trainers; tr++ {
+		// Contiguous file ranges per trainer, for train and val alike.
+		lo := tr * trainFiles / s.Trainers
+		hi := (tr + 1) * trainFiles / s.Trainers
+		vlo := trainFiles + tr*valFiles/s.Trainers
+		vhi := trainFiles + (tr+1)*valFiles/s.Trainers
+		var owned []int
+		for f := lo; f < hi; f++ {
+			owned = append(owned, f)
+		}
+		for f := vlo; f < vhi; f++ {
+			owned = append(owned, f)
+		}
+		for r := 0; r < s.GPUsPerTrainer; r++ {
+			var mine []int
+			for k, f := range owned {
+				if k%s.GPUsPerTrainer == r {
+					mine = append(mine, f)
+				}
+			}
+			var next func(k int)
+			next = func(k int) {
+				if k >= len(mine) {
+					return
+				}
+				f := mine[k]
+				fs.Open(f, func(float64) {
+					fs.ReadSequential(f, fileBytes, func(float64) { next(k + 1) })
+				})
+			}
+			next(0)
+		}
+	}
+	return sim.Run()
+}

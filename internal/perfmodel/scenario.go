@@ -1,0 +1,225 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/datastore"
+	"repro/internal/netsim"
+	"repro/internal/pfs"
+)
+
+// Scenario describes one training configuration to be costed: workload,
+// machine, trainer placement and data-ingestion mode.
+type Scenario struct {
+	Fabric netsim.Fabric
+	FS     pfs.Params
+	Arch   Arch
+
+	// SampleBytes is the on-disk/in-memory size of one sample (the paper's
+	// 12 64×64 float32 images + 15 scalars + 5 inputs ≈ 197 kB; 10M of
+	// them ≈ the paper's 2 TB).
+	SampleBytes float64
+	// TrainSamples is the size of the full training set; each of Trainers
+	// trainers works on TrainSamples/Trainers of it.
+	TrainSamples int
+	// ValSamples is the validation set size; each trainer additionally
+	// holds its 1/Trainers share in its data store.
+	ValSamples     int
+	BatchSize      int
+	SamplesPerFile int
+
+	Trainers int
+	// GPUsPerTrainer ranks make up each trainer; GPUsPerNode is the
+	// placement density (4 = packed Lassen node, 1 = the sparse placement
+	// of Figure 11's single-trainer baseline).
+	GPUsPerTrainer int
+	GPUsPerNode    int
+
+	Mode datastore.Mode
+	// DynamicImbalance inflates the steady-state shuffle of the dynamic
+	// store: first-touch ownership follows the epoch-0 consumption pattern
+	// and is less balanced than preload's file round-robin, which is why
+	// the paper's preloaded store beats the dynamic store in steady state.
+	DynamicImbalance float64
+	// SerializationBW is the per-rank sample handling throughput of the
+	// store exchange (Conduit node packing/unpacking), bytes/s.
+	SerializationBW float64
+	// UsableMemFraction is the share of a rank's memory budget the data
+	// store may occupy. Ranks are launched in jsrun-style resource sets:
+	// each rank's budget is NodeMemory·UsableMemFraction/GPUsPerNode, which
+	// is exactly why the paper's 10M-sample single trainer fit on 16 nodes
+	// at 1 GPU/node but not on 4 packed nodes.
+	UsableMemFraction float64
+}
+
+// PaperScenario returns the calibrated baseline configuration for the given
+// training-set size (1M for Figures 9/10, 10M for Figure 11).
+func PaperScenario(trainSamples int) Scenario {
+	fabric := netsim.Lassen()
+	fabric.GPUFlops = 0.77e12
+	fabric.SparseNICPenalty = 0.14
+	fs := pfs.GPFSLike()
+	fs.ClientBandwidth = 0.35e9
+	return Scenario{
+		Fabric:            fabric,
+		FS:                fs,
+		Arch:              PaperArch(),
+		SampleBytes:       196688,
+		TrainSamples:      trainSamples,
+		ValSamples:        0,
+		BatchSize:         128,
+		SamplesPerFile:    1000,
+		Trainers:          1,
+		GPUsPerTrainer:    16,
+		GPUsPerNode:       4,
+		Mode:              datastore.ModePreload,
+		DynamicImbalance:  1.28,
+		SerializationBW:   61e6,
+		UsableMemFraction: 0.8,
+	}
+}
+
+// Validate reports whether the scenario is well-formed.
+func (s Scenario) Validate() error {
+	if err := s.Fabric.Validate(); err != nil {
+		return err
+	}
+	if err := s.FS.Validate(); err != nil {
+		return err
+	}
+	if s.TrainSamples < 1 || s.BatchSize < 1 || s.SamplesPerFile < 1 {
+		return fmt.Errorf("perfmodel: invalid workload %+v", s)
+	}
+	if s.Trainers < 1 || s.GPUsPerTrainer < 1 || s.GPUsPerNode < 1 {
+		return fmt.Errorf("perfmodel: invalid placement %+v", s)
+	}
+	if s.SampleBytes <= 0 || s.SerializationBW <= 0 || s.UsableMemFraction <= 0 {
+		return fmt.Errorf("perfmodel: invalid rates %+v", s)
+	}
+	return nil
+}
+
+// Report is the costed result of one scenario.
+type Report struct {
+	Feasible bool
+	// Reason explains infeasibility (data store exceeding memory budgets).
+	Reason string
+
+	StepsPerEpoch int
+	// Per-step cost breakdown, seconds.
+	Compute   float64
+	Allreduce float64
+	Shuffle   float64
+	Ingest    float64
+	StepTime  float64
+
+	// Epoch-level results, seconds.
+	SteadyEpoch  float64
+	InitialEpoch float64
+	PreloadTime  float64
+}
+
+// partitionSamples returns one trainer's training-set share.
+func (s Scenario) partitionSamples() int { return s.TrainSamples / s.Trainers }
+
+// storeBytesPerRank returns the data-store footprint of one rank.
+func (s Scenario) storeBytesPerRank() float64 {
+	perTrainer := float64(s.partitionSamples()+s.ValSamples/s.Trainers) * s.SampleBytes
+	return perTrainer / float64(s.GPUsPerTrainer)
+}
+
+// memBudgetPerRank returns the rank's usable host-memory budget under
+// resource-set allocation.
+func (s Scenario) memBudgetPerRank() float64 {
+	return s.Fabric.NodeMemory * s.UsableMemFraction / float64(s.GPUsPerNode)
+}
+
+// pressure returns the host-memory slowdown factor for store traffic at the
+// current occupancy (the inverse of the paper's cache-effect speedup).
+func (s Scenario) pressure() float64 {
+	occ := s.storeBytesPerRank() / s.memBudgetPerRank()
+	if occ <= 0.5 {
+		return 1
+	}
+	return 1 + s.Fabric.MemoryPressure*(occ-0.5)/0.5
+}
+
+// shuffleTime returns the steady-state per-step data-store exchange cost:
+// each rank receives its mini-batch share from peer owners (all but the
+// 1/ranks locally-owned fraction), dominated by per-sample serialization,
+// plus the network transfer.
+func (s Scenario) shuffleTime() float64 {
+	ranks := s.GPUsPerTrainer
+	perRank := float64(s.BatchSize) / float64(ranks)
+	if ranks == 1 {
+		// Everything is local: only host staging of the batch.
+		return perRank * s.SampleBytes / s.Fabric.HostBandwidth * s.pressure()
+	}
+	remote := perRank * float64(ranks-1) / float64(ranks)
+	ser := remote * s.SampleBytes / s.SerializationBW * s.pressure()
+	net := s.Fabric.IBLatency + remote*s.SampleBytes/s.Fabric.IBBandwidth
+	if netsim.Nodes(ranks, s.GPUsPerNode) == 1 {
+		net = s.Fabric.NVLinkLatency + remote*s.SampleBytes/s.Fabric.NVLinkBandwidth
+	}
+	t := ser + net
+	if s.Mode == datastore.ModeDynamic {
+		t *= s.DynamicImbalance
+	}
+	return t
+}
+
+// allreduceTime returns the summed per-step gradient allreduce cost over
+// the three training phases.
+func (s Scenario) allreduceTime() float64 {
+	ae, dsc, gen := s.Arch.PhaseGradBytes()
+	g, per := s.GPUsPerTrainer, s.GPUsPerNode
+	return s.Fabric.AllreduceTime(ae, g, per) +
+		s.Fabric.AllreduceTime(dsc, g, per) +
+		s.Fabric.AllreduceTime(gen, g, per)
+}
+
+// Epoch costs the scenario and returns the full report.
+func (s Scenario) Epoch() Report {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	r := Report{Feasible: true}
+	r.StepsPerEpoch = s.partitionSamples() / s.BatchSize
+
+	// Memory feasibility applies to the preloaded store, which must hold
+	// the whole partition up front (the paper's 1–2 GPU Figure 10 points
+	// and the 4-node single-trainer Figure 11 baseline).
+	if s.Mode == datastore.ModePreload {
+		if need, have := s.storeBytesPerRank(), s.memBudgetPerRank(); need > have {
+			r.Feasible = false
+			r.Reason = fmt.Sprintf("data store needs %.1f GB/rank, resource-set budget is %.1f GB", need/1e9, have/1e9)
+			return r
+		}
+	}
+
+	r.Compute = s.Fabric.ComputeTime(s.Arch.FlopsPerSample()*float64(s.BatchSize), s.GPUsPerTrainer)
+	r.Allreduce = s.allreduceTime()
+
+	switch s.Mode {
+	case datastore.ModeNone:
+		r.Ingest = s.NaiveIngestPerStep()
+		r.StepTime = r.Compute + r.Allreduce + r.Ingest
+		r.SteadyEpoch = float64(r.StepsPerEpoch) * r.StepTime
+		r.InitialEpoch = r.SteadyEpoch
+	case datastore.ModeDynamic:
+		r.Ingest = s.NaiveIngestPerStep()
+		r.Shuffle = s.shuffleTime()
+		r.StepTime = r.Compute + r.Allreduce + r.Shuffle
+		r.SteadyEpoch = float64(r.StepsPerEpoch) * r.StepTime
+		// The first epoch ingests like the naive reader plus a small
+		// caching overhead.
+		r.InitialEpoch = float64(r.StepsPerEpoch) * (r.Compute + r.Allreduce + 1.05*r.Ingest)
+	case datastore.ModePreload:
+		r.Shuffle = s.shuffleTime()
+		r.StepTime = r.Compute + r.Allreduce + r.Shuffle
+		r.SteadyEpoch = float64(r.StepsPerEpoch) * r.StepTime
+		r.PreloadTime = s.PreloadMakespan()
+		r.InitialEpoch = r.PreloadTime + r.SteadyEpoch
+	}
+	return r
+}

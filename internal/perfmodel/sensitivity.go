@@ -1,0 +1,102 @@
+package perfmodel
+
+import "fmt"
+
+// Sensitivity analysis: the headline 70.2×/109% result rests on modelling
+// assumptions the paper does not pin down (how much the sparse baseline's
+// NIC suffers, how hard GPFS degrades under load, how fast the store's
+// sample handling is). SweepHeadline perturbs each knob across a range and
+// reports how the 64-trainer speedup responds, so a reader can see which
+// conclusions are robust and which are calibration.
+
+// SensitivityPoint is one knob setting and its headline outcome.
+type SensitivityPoint struct {
+	Knob    string
+	Value   float64
+	Speedup float64 // 64-trainer speedup under this setting
+	Preload float64 // 64-trainer preload time, seconds
+}
+
+// knobRange builds evenly spaced values across [lo, hi].
+func knobRange(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// headlineUnder evaluates the Figure 11 headline with the scenario modifier
+// applied to both the baseline and the 64-trainer point.
+func headlineUnder(modify func(*Scenario)) (speedup, preload float64) {
+	base := fig11Scenario(1)
+	modify(&base)
+	big := fig11Scenario(64)
+	modify(&big)
+	rb := base.Epoch()
+	r64 := big.Epoch()
+	if r64.SteadyEpoch > 0 {
+		speedup = rb.SteadyEpoch / r64.SteadyEpoch
+	}
+	return speedup, r64.PreloadTime
+}
+
+// SweepHeadline evaluates the headline under n settings of each modelled
+// mechanism: the sparse-placement NIC penalty, the per-ring-step software
+// overhead, the file-system interference slope, and the store serialization
+// bandwidth.
+func SweepHeadline(n int) []SensitivityPoint {
+	if n < 2 {
+		n = 2
+	}
+	var out []SensitivityPoint
+	for _, v := range knobRange(0, 0.4, n) {
+		v := v
+		sp, pre := headlineUnder(func(s *Scenario) { s.Fabric.SparseNICPenalty = v })
+		out = append(out, SensitivityPoint{Knob: "sparse_nic_penalty", Value: v, Speedup: sp, Preload: pre})
+	}
+	for _, v := range knobRange(0, 100e-6, n) {
+		v := v
+		sp, pre := headlineUnder(func(s *Scenario) { s.Fabric.StepOverhead = v })
+		out = append(out, SensitivityPoint{Knob: "ring_step_overhead", Value: v, Speedup: sp, Preload: pre})
+	}
+	for _, v := range knobRange(0, 1.5, n) {
+		v := v
+		sp, pre := headlineUnder(func(s *Scenario) { s.FS.Interference = v })
+		out = append(out, SensitivityPoint{Knob: "fs_interference", Value: v, Speedup: sp, Preload: pre})
+	}
+	for _, v := range knobRange(30e6, 120e6, n) {
+		v := v
+		sp, pre := headlineUnder(func(s *Scenario) { s.SerializationBW = v })
+		out = append(out, SensitivityPoint{Knob: "serialization_bw", Value: v, Speedup: sp, Preload: pre})
+	}
+	return out
+}
+
+// SensitivitySummary renders the sweep compactly: per knob, the headline
+// speedup range it induces.
+func SensitivitySummary(points []SensitivityPoint) string {
+	type span struct{ lo, hi float64 }
+	spans := map[string]*span{}
+	order := []string{}
+	for _, p := range points {
+		s, ok := spans[p.Knob]
+		if !ok {
+			spans[p.Knob] = &span{lo: p.Speedup, hi: p.Speedup}
+			order = append(order, p.Knob)
+			continue
+		}
+		if p.Speedup < s.lo {
+			s.lo = p.Speedup
+		}
+		if p.Speedup > s.hi {
+			s.hi = p.Speedup
+		}
+	}
+	out := ""
+	for _, k := range order {
+		s := spans[k]
+		out += fmt.Sprintf("%-20s speedup@64 in [%.1fx, %.1fx]\n", k, s.lo, s.hi)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+// Package regressor implements a traditional (non-adversarial) surrogate:
+// a single fully-connected network regressing the output bundle directly
+// from the 5-D inputs. The paper's tournament method trains "traditional as
+// well as generative adversarial networks"; this model is the traditional
+// case — classic LTFB exchanges the whole model rather than a generator
+// subset, so ExchangeNets returns everything.
+//
+// It implements the trainer.Model contract structurally and can be dropped
+// into trainers, LTFB populations, and the K-independent baseline anywhere
+// the CycleGAN surrogate can.
+package regressor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/jag"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Config describes the regression network.
+type Config struct {
+	Geometry jag.Config
+	Hidden   []int
+	LR       float64
+}
+
+// DefaultConfig returns a laptop-scale regressor for the geometry.
+func DefaultConfig(g jag.Config) Config {
+	return Config{Geometry: g, Hidden: []int{64, 64}, LR: 0.002}
+}
+
+// Validate reports whether the configuration is trainable.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("regressor: learning rate %v", c.LR)
+	}
+	return nil
+}
+
+// Model is one replica of the regressor with its optimizer.
+type Model struct {
+	Cfg Config
+	Net *nn.Network
+	opt opt.Optimizer
+}
+
+// New builds a model with weights drawn from seed; same (cfg, seed) gives
+// bitwise-identical replicas.
+func New(cfg Config, seed int64) *Model {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dims := append([]int{jag.InputDim}, cfg.Hidden...)
+	dims = append(dims, cfg.Geometry.OutputDim())
+	return &Model{
+		Cfg: cfg,
+		Net: nn.MLP("regressor", dims, nn.ActLeakyReLU, nn.ActSigmoid, rng),
+		opt: opt.NewAdam(cfg.LR),
+	}
+}
+
+// TrainStep runs one MSE step on the mini-batch, reducing gradients through
+// r before the optimizer update.
+func (m *Model) TrainStep(x, y *tensor.Matrix, r nn.Reducer) map[string]float64 {
+	m.Net.ZeroGrad()
+	pred := m.Net.Forward(x, true)
+	loss, dy := nn.MSE(pred, y)
+	m.Net.Backward(dy)
+	params := m.Net.Params()
+	r.Reduce(params)
+	m.opt.Step(params)
+	return map[string]float64{"mse": loss}
+}
+
+// Eval returns the MAE of predictions on a batch (lower is better).
+func (m *Model) Eval(x, y *tensor.Matrix) float64 {
+	return nn.MAEValue(m.Net.Forward(x, false), y)
+}
+
+// Predict returns the output bundles for a batch of inputs.
+func (m *Model) Predict(x *tensor.Matrix) *tensor.Matrix {
+	return m.Net.Forward(x, false)
+}
+
+// Nets returns the single network.
+func (m *Model) Nets() []*nn.Network { return []*nn.Network{m.Net} }
+
+// ExchangeNets returns the whole model: classic LTFB (Jacobs et al. 2017)
+// exchanges everything; there is no discriminator to keep local.
+func (m *Model) ExchangeNets() []*nn.Network { return m.Nets() }
+
+// ResetOptim clears the Adam moments.
+func (m *Model) ResetOptim() { m.opt.Reset() }

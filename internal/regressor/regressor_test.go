@@ -1,0 +1,133 @@
+package regressor
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/datastore"
+	"repro/internal/jag"
+	"repro/internal/ltfb"
+	"repro/internal/nn"
+	"repro/internal/reader"
+	"repro/internal/tensor"
+	"repro/internal/trainer"
+)
+
+// The regressor must satisfy the trainer.Model contract at compile time.
+var _ trainer.Model = (*Model)(nil)
+
+func batch(start, n int) (x, y *tensor.Matrix) {
+	x = tensor.New(n, jag.InputDim)
+	y = tensor.New(n, jag.Tiny8.OutputDim())
+	for i := 0; i < n; i++ {
+		s := jag.SimulateAt(jag.Tiny8, start+i)
+		copy(x.Row(i), s.X)
+		copy(y.Row(i), s.Output())
+	}
+	return
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig(jag.Tiny8).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig(jag.Tiny8)
+	bad.LR = 0
+	if bad.Validate() == nil {
+		t.Fatal("lr 0 must be invalid")
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	m := New(DefaultConfig(jag.Tiny8), 1)
+	x, y := batch(0, 64)
+	xv, yv := batch(1000, 32)
+	before := m.Eval(xv, yv)
+	for i := 0; i < 80; i++ {
+		losses := m.TrainStep(x, y, nn.NopReducer{})
+		if losses["mse"] < 0 {
+			t.Fatal("negative loss")
+		}
+	}
+	after := m.Eval(xv, yv)
+	if !(after < before*0.7) {
+		t.Fatalf("regressor did not learn: %v -> %v", before, after)
+	}
+}
+
+func TestDeterministicReplicas(t *testing.T) {
+	a := New(DefaultConfig(jag.Tiny8), 5)
+	b := New(DefaultConfig(jag.Tiny8), 5)
+	pa, pb := a.Net.Params(), b.Net.Params()
+	for i := range pa {
+		if !pa[i].W.Equal(pb[i].W) {
+			t.Fatal("same-seed replicas differ")
+		}
+	}
+}
+
+func TestExchangeNetsIsFullModel(t *testing.T) {
+	m := New(DefaultConfig(jag.Tiny8), 2)
+	if len(m.ExchangeNets()) != len(m.Nets()) {
+		t.Fatal("traditional model must exchange everything")
+	}
+}
+
+// Classic LTFB on a traditional network: the full model is exchanged and
+// the weaker trainer adopts the stronger one's weights entirely.
+func TestClassicLTFBOnRegressor(t *testing.T) {
+	recs := make([][]float32, 64)
+	for i := range recs {
+		recs[i] = jag.SimulateAt(jag.Tiny8, i).Flatten()
+	}
+	ds, err := reader.NewSliceDataset(jag.Tiny8.SampleDim(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, ty := batch(5000, 16)
+
+	w := comm.NewWorld(2)
+	models := make([]*Model, 2)
+	results := make([]ltfb.RoundResult, 2)
+	w.Run(func(wc *comm.Comm) {
+		tc := wc.Split(wc.Rank(), 0)
+		model := New(DefaultConfig(jag.Tiny8), int64(wc.Rank()))
+		models[wc.Rank()] = model
+		store := datastore.New(tc, ds, datastore.ModeDynamic)
+		tr, err := trainer.New(trainer.Config{BatchSize: 16, XDim: jag.InputDim, ShuffleSeed: 1}, tc, model, store, ds)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Trainer 0 trains 30 steps; trainer 1 none.
+		if wc.Rank() == 0 {
+			if err := tr.Advance(30); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		m := &ltfb.Member{
+			Cfg:       ltfb.Config{NumTrainers: 2, RoundSteps: 1, PairSeed: 3},
+			TrainerID: wc.Rank(),
+			World:     wc,
+			T:         tr,
+			Scratch:   New(DefaultConfig(jag.Tiny8), 99),
+			TournX:    tx,
+			TournY:    ty,
+		}
+		res, err := m.Tournament(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		results[wc.Rank()] = res
+	})
+	if results[0].Adopted || !results[1].Adopted {
+		t.Fatalf("adoption direction wrong: %+v", results)
+	}
+	a := nn.MarshalNetworks(models[0].Nets())
+	b := nn.MarshalNetworks(models[1].Nets())
+	if string(a) != string(b) {
+		t.Fatal("classic LTFB must propagate the entire model")
+	}
+}

@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Add computes dst = a + b elementwise. All shapes must match; dst may alias
+// a or b.
+func Add(dst, a, b *Matrix) {
+	dst.mustSameShape(a, "Add")
+	dst.mustSameShape(b, "Add")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(dst, a, b *Matrix) {
+	dst.mustSameShape(a, "Sub")
+	dst.mustSameShape(b, "Sub")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// Hadamard computes dst = a ⊙ b (elementwise product).
+func Hadamard(dst, a, b *Matrix) {
+	dst.mustSameShape(a, "Hadamard")
+	dst.mustSameShape(b, "Hadamard")
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func Scale(m *Matrix, s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled computes dst += s*src (axpy over whole matrices).
+func AddScaled(dst *Matrix, s float32, src *Matrix) {
+	dst.mustSameShape(src, "AddScaled")
+	axpy(s, src.Data, dst.Data)
+}
+
+// Apply sets dst[i] = fn(src[i]) for every element. dst may alias src.
+func Apply(dst, src *Matrix, fn func(float32) float32) {
+	dst.mustSameShape(src, "Apply")
+	for i, v := range src.Data {
+		dst.Data[i] = fn(v)
+	}
+}
+
+// AddRowVector adds the 1×Cols row vector v to every row of m in place,
+// implementing bias addition.
+func AddRowVector(m *Matrix, v []float32) {
+	if len(v) != m.Cols {
+		panic("tensor: AddRowVector length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m as a length-Cols slice,
+// implementing bias gradients.
+func ColSums(m *Matrix) []float32 {
+	out := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for accuracy).
+func Sum(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements, or 0 for an empty matrix.
+func Mean(m *Matrix) float64 {
+	n := len(m.Data)
+	if n == 0 {
+		return 0
+	}
+	return Sum(m) / float64(n)
+}
+
+// Dot returns the Frobenius inner product of a and b.
+func Dot(a, b *Matrix) float64 {
+	a.mustSameShape(b, "Dot")
+	var s float64
+	for i, v := range a.Data {
+		s += float64(v) * float64(b.Data[i])
+	}
+	return s
+}
+
+// Norm2 returns the Frobenius norm of m.
+func Norm2(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for an empty
+// matrix.
+func MaxAbs(m *Matrix) float32 {
+	var best float32
+	for _, v := range m.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// FillGaussian fills m with N(mean, std²) samples from rng.
+func FillGaussian(m *Matrix, rng *rand.Rand, mean, std float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64()*std + mean)
+	}
+}
+
+// FillUniform fills m with samples drawn uniformly from [lo, hi).
+func FillUniform(m *Matrix, rng *rand.Rand, lo, hi float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+}

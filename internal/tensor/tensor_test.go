@@ -1,0 +1,313 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGemm is the reference implementation Gemm is tested against.
+func naiveGemm(c *Matrix, alpha float32, a *Matrix, ta Op, b *Matrix, tb Op, beta float32) {
+	get := func(m *Matrix, t Op, i, j int) float32 {
+		if t == Trans {
+			return m.At(j, i)
+		}
+		return m.At(i, j)
+	}
+	mRows, k := a.Rows, a.Cols
+	if ta == Trans {
+		mRows, k = a.Cols, a.Rows
+	}
+	n := b.Cols
+	if tb == Trans {
+		n = b.Rows
+	}
+	for i := 0; i < mRows; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for p := 0; p < k; p++ {
+				sum += float64(get(a, ta, i, p)) * float64(get(b, tb, p, j))
+			}
+			c.Set(i, j, beta*c.At(i, j)+alpha*float32(sum))
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	FillGaussian(m, rng, 0, 1)
+	return m
+}
+
+func TestGemmAllVariantsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 4, 5}, {8, 8, 8}, {17, 31, 13}, {64, 20, 48}, {5, 1, 9},
+	}
+	for _, ta := range []Op{NoTrans, Trans} {
+		for _, tb := range []Op{NoTrans, Trans} {
+			for _, sh := range shapes {
+				a := randomMatrix(rng, sh.m, sh.k)
+				if ta == Trans {
+					a = randomMatrix(rng, sh.k, sh.m)
+				}
+				b := randomMatrix(rng, sh.k, sh.n)
+				if tb == Trans {
+					b = randomMatrix(rng, sh.n, sh.k)
+				}
+				c := randomMatrix(rng, sh.m, sh.n)
+				want := c.Clone()
+				alpha, beta := float32(0.7), float32(-0.3)
+				Gemm(c, alpha, a, ta, b, tb, beta)
+				naiveGemm(want, alpha, a, ta, b, tb, beta)
+				if !c.ApproxEqual(want, 1e-3) {
+					t.Fatalf("Gemm(ta=%v tb=%v %dx%dx%d) diverges from naive", ta, tb, sh.m, sh.k, sh.n)
+				}
+			}
+		}
+	}
+}
+
+func TestGemmBetaZeroIgnoresGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 4, 6)
+	b := randomMatrix(rng, 6, 3)
+	c := New(4, 3)
+	for i := range c.Data {
+		c.Data[i] = float32(math.NaN())
+	}
+	Gemm(c, 1, a, NoTrans, b, NoTrans, 0)
+	if c.HasNaN() {
+		t.Fatal("beta=0 must overwrite prior contents, including NaN")
+	}
+}
+
+func TestGemmAlphaZeroScalesOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 4, 6)
+	b := randomMatrix(rng, 6, 3)
+	c := randomMatrix(rng, 4, 3)
+	want := c.Clone()
+	Scale(want, 0.5)
+	Gemm(c, 0, a, NoTrans, b, NoTrans, 0.5)
+	if !c.ApproxEqual(want, 1e-6) {
+		t.Fatal("alpha=0 should reduce Gemm to C *= beta")
+	}
+}
+
+func TestGemmShapePanics(t *testing.T) {
+	cases := []func(){
+		func() { Gemm(New(2, 2), 1, New(2, 3), NoTrans, New(4, 2), NoTrans, 0) }, // inner mismatch
+		func() { Gemm(New(3, 2), 1, New(2, 3), NoTrans, New(3, 2), NoTrans, 0) }, // bad output
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomMatrix(rng, 7, 7)
+	id := New(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	c := New(7, 7)
+	MatMul(c, a, id)
+	if !c.ApproxEqual(a, 1e-6) {
+		t.Fatal("A*I != A")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(rSeed, cSeed uint8) bool {
+		rows := int(rSeed%16) + 1
+		cols := int(cSeed%16) + 1
+		rng := rand.New(rand.NewSource(int64(rSeed)<<8 | int64(cSeed)))
+		m := randomMatrix(rng, rows, cols)
+		return m.Transpose().Transpose().Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gemm distributes over addition in A: (A1+A2)*B == A1*B + A2*B.
+func TestGemmLinearityProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		m, k, n := int(seed%5)+1, int(seed%7)+1, int(seed%3)+1
+		a1 := randomMatrix(rng, m, k)
+		a2 := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		sum := New(m, k)
+		Add(sum, a1, a2)
+		left := New(m, n)
+		MatMul(left, sum, b)
+		right := New(m, n)
+		tmp := New(m, n)
+		MatMul(right, a1, b)
+		MatMul(tmp, a2, b)
+		Add(right, right, tmp)
+		return left.ApproxEqual(right, 1e-3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float32{10, 20, 30, 40})
+	dst := New(2, 2)
+	Add(dst, a, b)
+	if !dst.Equal(FromSlice(2, 2, []float32{11, 22, 33, 44})) {
+		t.Fatalf("Add = %v", dst)
+	}
+	Sub(dst, b, a)
+	if !dst.Equal(FromSlice(2, 2, []float32{9, 18, 27, 36})) {
+		t.Fatalf("Sub = %v", dst)
+	}
+	Hadamard(dst, a, b)
+	if !dst.Equal(FromSlice(2, 2, []float32{10, 40, 90, 160})) {
+		t.Fatalf("Hadamard = %v", dst)
+	}
+	AddScaled(dst, 0, a)
+	if !dst.Equal(FromSlice(2, 2, []float32{10, 40, 90, 160})) {
+		t.Fatal("AddScaled with s=0 must be a no-op")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, -2, 3, -4, 5, -6})
+	if got := Sum(m); got != -3 {
+		t.Fatalf("Sum = %v, want -3", got)
+	}
+	if got := Mean(m); got != -0.5 {
+		t.Fatalf("Mean = %v, want -0.5", got)
+	}
+	if got := MaxAbs(m); got != 6 {
+		t.Fatalf("MaxAbs = %v, want 6", got)
+	}
+	cs := ColSums(m)
+	want := []float32{-3, 3, -3}
+	for i := range cs {
+		if cs[i] != want[i] {
+			t.Fatalf("ColSums = %v, want %v", cs, want)
+		}
+	}
+	if got := Dot(m, m); math.Abs(got-91) > 1e-9 {
+		t.Fatalf("Dot(m,m) = %v, want 91", got)
+	}
+	if got := Norm2(m); math.Abs(got-math.Sqrt(91)) > 1e-9 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}
+
+func TestAddRowVectorAndColSumsRoundTrip(t *testing.T) {
+	m := New(3, 4)
+	AddRowVector(m, []float32{1, 2, 3, 4})
+	cs := ColSums(m)
+	for j, v := range cs {
+		if v != float32(3*(j+1)) {
+			t.Fatalf("col %d sum = %v, want %v", j, v, 3*(j+1))
+		}
+	}
+}
+
+func TestSliceRowsAliases(t *testing.T) {
+	m := FromSlice(4, 2, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	s := m.SliceRows(1, 3)
+	if s.Rows != 2 || s.At(0, 0) != 3 || s.At(1, 1) != 6 {
+		t.Fatalf("SliceRows gave %v", s)
+	}
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 99 {
+		t.Fatal("SliceRows must alias parent storage")
+	}
+}
+
+func TestReshapeAliasesAndPanics(t *testing.T) {
+	m := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	r := m.Reshape(3, 2)
+	if r.At(2, 1) != 6 {
+		t.Fatalf("Reshape content wrong: %v", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape to wrong element count must panic")
+		}
+	}()
+	m.Reshape(4, 2)
+}
+
+func TestMeanEmptyMatrix(t *testing.T) {
+	if got := Mean(New(0, 5)); got != 0 {
+		t.Fatalf("Mean of empty = %v, want 0", got)
+	}
+}
+
+func TestFillGaussianStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := New(200, 200)
+	FillGaussian(m, rng, 3, 0.5)
+	mean := Mean(m)
+	if math.Abs(mean-3) > 0.02 {
+		t.Fatalf("sample mean %v too far from 3", mean)
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := New(50, 50)
+	FillUniform(m, rng, -2, 5)
+	for _, v := range m.Data {
+		if v < -2 || v >= 5 {
+			t.Fatalf("uniform sample %v outside [-2,5)", v)
+		}
+	}
+}
+
+func BenchmarkGemmNN128(b *testing.B) { benchGemm(b, 128, 128, 128, NoTrans, NoTrans) }
+func BenchmarkGemmTN128(b *testing.B) { benchGemm(b, 128, 128, 128, Trans, NoTrans) }
+func BenchmarkGemmNT128(b *testing.B) { benchGemm(b, 128, 128, 128, NoTrans, Trans) }
+
+func benchGemm(b *testing.B, m, k, n int, ta, tb Op) {
+	rng := rand.New(rand.NewSource(9))
+	ar, ac := m, k
+	if ta == Trans {
+		ar, ac = k, m
+	}
+	br, bc := k, n
+	if tb == Trans {
+		br, bc = n, k
+	}
+	a := randomMatrix(rng, ar, ac)
+	bm := randomMatrix(rng, br, bc)
+	c := New(m, n)
+	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(c, 1, a, ta, bm, tb, 0)
+	}
+}
+
+// BenchmarkGemmNaive provides the ablation baseline for the blocked kernel.
+func BenchmarkGemmNaive128(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomMatrix(rng, 128, 128)
+	bm := randomMatrix(rng, 128, 128)
+	c := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveGemm(c, 1, a, NoTrans, bm, NoTrans, 0)
+	}
+}

@@ -1,0 +1,226 @@
+// Package trainer implements LBANN's trainer abstraction (Section III-A):
+// a trainer is a set of ranks (simulated GPUs) that together train one model
+// replica set with data-parallel SGD. Each rank holds an identical model
+// replica, consumes its shard of every mini-batch from the distributed data
+// store, and the replicas stay in lockstep because gradients are combined
+// with a bitwise-deterministic ring allreduce before every optimizer step.
+//
+// Running LBANN with multiple trainers gives two levels of parallelism —
+// within each trainer (this package) and between trainers (package ltfb).
+package trainer
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/datastore"
+	"repro/internal/nn"
+	"repro/internal/reader"
+	"repro/internal/tensor"
+)
+
+// Model is the contract a trainable surrogate fulfills;
+// cyclegan.Surrogate implements it structurally.
+type Model interface {
+	// TrainStep runs one mini-batch (x inputs, y targets), reducing each
+	// phase's gradients through r, and returns named loss values.
+	TrainStep(x, y *tensor.Matrix, r nn.Reducer) map[string]float64
+	// Eval returns the validation objective on a batch (lower is better).
+	Eval(x, y *tensor.Matrix) float64
+	// Nets returns every network of the model.
+	Nets() []*nn.Network
+	// ExchangeNets returns the networks shipped in LTFB tournaments.
+	ExchangeNets() []*nn.Network
+	// ResetOptim clears optimizer state after adopting foreign weights.
+	ResetOptim()
+}
+
+// AllreduceReducer averages gradients across the ranks of a trainer
+// communicator using the ring allreduce. All parameters are packed into one
+// buffer per Reduce call, matching how Aluminum aggregates small tensors.
+type AllreduceReducer struct {
+	C *comm.Comm
+}
+
+// Reduce replaces every gradient with the cross-rank average.
+func (r AllreduceReducer) Reduce(params []*nn.Param) {
+	n := r.C.Size()
+	if n == 1 {
+		return
+	}
+	total := 0
+	for _, p := range params {
+		total += len(p.Grad.Data)
+	}
+	buf := make([]float32, total)
+	off := 0
+	for _, p := range params {
+		copy(buf[off:], p.Grad.Data)
+		off += len(p.Grad.Data)
+	}
+	r.C.AllreduceSum(buf)
+	inv := float32(1) / float32(n)
+	off = 0
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = buf[off+i] * inv
+		}
+		off += len(p.Grad.Data)
+	}
+}
+
+// Config fixes a trainer's training loop parameters.
+type Config struct {
+	// ID is the trainer's index among all trainers (seeds, diagnostics).
+	ID int
+	// BatchSize is the global mini-batch size per step (the paper uses
+	// 128); it must be at least the rank count so every rank always has
+	// work.
+	BatchSize int
+	// XDim is the number of leading input columns in each flattened sample.
+	XDim int
+	// ShuffleSeed seeds the per-epoch permutations; all ranks of a trainer
+	// must agree on it.
+	ShuffleSeed int64
+}
+
+// Stats aggregates training progress.
+type Stats struct {
+	Steps  int
+	Epochs int
+	// Losses holds running means of the model's named losses over all
+	// steps taken so far.
+	Losses map[string]float64
+}
+
+// Trainer is one rank's view of a trainer. All ranks of the trainer must
+// call its collective methods (Advance, RunEpoch, Evaluate) together.
+type Trainer struct {
+	Cfg   Config
+	C     *comm.Comm
+	Model Model
+	Store *datastore.Store
+	Data  reader.Dataset
+
+	shuffler *reader.Shuffler
+	batches  [][]int
+	cursor   int
+	stats    Stats
+}
+
+// New wires a trainer rank together. Every rank of the trainer passes the
+// same cfg, its own communicator handle and store, and the shared (or
+// identically-partitioned) dataset.
+func New(cfg Config, c *comm.Comm, model Model, store *datastore.Store, data reader.Dataset) (*Trainer, error) {
+	if cfg.BatchSize < c.Size() {
+		return nil, fmt.Errorf("trainer %d: batch size %d smaller than %d ranks", cfg.ID, cfg.BatchSize, c.Size())
+	}
+	if data.Len() < cfg.BatchSize {
+		return nil, fmt.Errorf("trainer %d: dataset of %d samples smaller than batch %d", cfg.ID, data.Len(), cfg.BatchSize)
+	}
+	if cfg.XDim < 1 || cfg.XDim >= data.Dim() {
+		return nil, fmt.Errorf("trainer %d: xDim %d outside (0,%d)", cfg.ID, cfg.XDim, data.Dim())
+	}
+	return &Trainer{
+		Cfg:      cfg,
+		C:        c,
+		Model:    model,
+		Store:    store,
+		Data:     data,
+		shuffler: reader.NewShuffler(data.Len(), cfg.ShuffleSeed),
+		stats:    Stats{Losses: map[string]float64{}},
+	}, nil
+}
+
+// Stats returns a snapshot of training progress.
+func (t *Trainer) Stats() Stats {
+	out := t.stats
+	out.Losses = make(map[string]float64, len(t.stats.Losses))
+	for k, v := range t.stats.Losses {
+		out.Losses[k] = v
+	}
+	return out
+}
+
+// Reducer returns the gradient reducer for this trainer's ranks.
+func (t *Trainer) Reducer() nn.Reducer { return AllreduceReducer{C: t.C} }
+
+// prepareEpoch lays out the next epoch's batch schedule. Partial trailing
+// batches are dropped so every rank always receives at least one sample.
+func (t *Trainer) prepareEpoch() {
+	perm := t.shuffler.Epoch(t.stats.Epochs)
+	t.batches = reader.Batches(perm, t.Cfg.BatchSize, true)
+	t.cursor = 0
+}
+
+// StepsPerEpoch returns the number of optimizer steps one epoch takes.
+func (t *Trainer) StepsPerEpoch() int { return t.Data.Len() / t.Cfg.BatchSize }
+
+// Advance runs the next n mini-batch steps, crossing epoch boundaries as
+// needed. It is collective across the trainer's ranks.
+func (t *Trainer) Advance(n int) error {
+	for i := 0; i < n; i++ {
+		if t.batches == nil || t.cursor >= len(t.batches) {
+			if t.batches != nil {
+				t.stats.Epochs++
+			}
+			t.prepareEpoch()
+		}
+		batch := t.batches[t.cursor]
+		t.cursor++
+
+		parts := make([][]int, t.C.Size())
+		for r := range parts {
+			parts[r] = reader.PartitionContiguousOf(batch, len(parts), r)
+		}
+		m, err := t.Store.Fetch(parts)
+		if err != nil {
+			return fmt.Errorf("trainer %d rank %d: %w", t.Cfg.ID, t.C.Rank(), err)
+		}
+		x, y := reader.SplitXY(m, t.Cfg.XDim)
+		losses := t.Model.TrainStep(x, y, t.Reducer())
+		t.stats.Steps++
+		for k, v := range losses {
+			// Running mean over all steps.
+			old := t.stats.Losses[k]
+			t.stats.Losses[k] = old + (v-old)/float64(t.stats.Steps)
+		}
+	}
+	return nil
+}
+
+// RunEpoch advances exactly one epoch's worth of steps.
+func (t *Trainer) RunEpoch() error {
+	if t.batches == nil || t.cursor >= len(t.batches) {
+		return t.Advance(t.StepsPerEpoch())
+	}
+	return t.Advance(len(t.batches) - t.cursor)
+}
+
+// Evaluate computes the model's mean Eval objective over a validation
+// dataset, data-parallel: each rank evaluates a contiguous shard and the
+// result is allreduced, so every rank returns the same value.
+func (t *Trainer) Evaluate(val reader.Dataset, batchSize int) (float64, error) {
+	idx := reader.PartitionContiguous(val.Len(), t.C.Size(), t.C.Rank())
+	var lossSum float64
+	var rows int
+	for lo := 0; lo < len(idx); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		m, err := reader.AssembleBatch(val, idx[lo:hi])
+		if err != nil {
+			return 0, err
+		}
+		x, y := reader.SplitXY(m, t.Cfg.XDim)
+		lossSum += t.Model.Eval(x, y) * float64(m.Rows)
+		rows += m.Rows
+	}
+	buf := []float32{float32(lossSum), float32(rows)}
+	t.C.AllreduceSum(buf)
+	if buf[1] == 0 {
+		return 0, fmt.Errorf("trainer %d: empty validation set", t.Cfg.ID)
+	}
+	return float64(buf[0] / buf[1]), nil
+}

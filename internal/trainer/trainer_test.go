@@ -1,0 +1,290 @@
+package trainer
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/cyclegan"
+	"repro/internal/datastore"
+	"repro/internal/jag"
+	"repro/internal/reader"
+)
+
+// jagSliceDataset materializes n flattened JAG samples in memory.
+func jagSliceDataset(t testing.TB, cfg jag.Config, start, n int) *reader.SliceDataset {
+	t.Helper()
+	recs := make([][]float32, n)
+	for i := range recs {
+		recs[i] = jag.SimulateAt(cfg, start+i).Flatten()
+	}
+	ds, err := reader.NewSliceDataset(cfg.SampleDim(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func tinySurrogate(seed int64) *cyclegan.Surrogate {
+	cfg := cyclegan.DefaultConfig(jag.Tiny8)
+	cfg.EncoderHidden = []int{24}
+	cfg.ForwardHidden = []int{16}
+	cfg.InverseHidden = []int{12}
+	cfg.DiscHidden = []int{12}
+	return cyclegan.New(cfg, seed)
+}
+
+// buildTrainers constructs one trainer spanning all ranks of a world.
+func buildTrainers(t *testing.T, w *comm.World, ds reader.Dataset, batch int) []*Trainer {
+	t.Helper()
+	trainers := make([]*Trainer, w.Size())
+	w.Run(func(c *comm.Comm) {
+		store := datastore.New(c, ds, datastore.ModeDynamic)
+		tr, err := New(Config{ID: 0, BatchSize: batch, XDim: jag.InputDim, ShuffleSeed: 42}, c, tinySurrogate(7), store, ds)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		trainers[c.Rank()] = tr
+	})
+	return trainers
+}
+
+func TestNewValidation(t *testing.T) {
+	ds := jagSliceDataset(t, jag.Tiny8, 0, 32)
+	w := comm.NewWorld(4)
+	w.Run(func(c *comm.Comm) {
+		store := datastore.New(c, ds, datastore.ModeNone)
+		if _, err := New(Config{BatchSize: 2, XDim: 5, ShuffleSeed: 1}, c, tinySurrogate(1), store, ds); err == nil {
+			t.Error("batch < ranks must error")
+		}
+		if _, err := New(Config{BatchSize: 64, XDim: 5, ShuffleSeed: 1}, c, tinySurrogate(1), store, ds); err == nil {
+			t.Error("dataset < batch must error")
+		}
+		if _, err := New(Config{BatchSize: 8, XDim: 0, ShuffleSeed: 1}, c, tinySurrogate(1), store, ds); err == nil {
+			t.Error("xDim 0 must error")
+		}
+	})
+}
+
+func TestDataParallelReplicasStayIdentical(t *testing.T) {
+	ds := jagSliceDataset(t, jag.Tiny8, 0, 64)
+	w := comm.NewWorld(4)
+	trainers := buildTrainers(t, w, ds, 16)
+	w.Run(func(c *comm.Comm) {
+		if err := trainers[c.Rank()].Advance(6); err != nil {
+			t.Error(err)
+		}
+	})
+	ref := trainers[0].Model.Nets()
+	for r := 1; r < 4; r++ {
+		nets := trainers[r].Model.Nets()
+		for i := range ref {
+			pa, pb := ref[i].Params(), nets[i].Params()
+			for j := range pa {
+				if !pa[j].W.Equal(pb[j].W) {
+					t.Fatalf("rank %d net %d param %d diverged from rank 0", r, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Data parallelism must be algorithmically equivalent to serial training:
+// a 2-rank trainer and a 1-rank trainer see the same batches and must end
+// with (nearly) the same weights. Gradients differ only by float summation
+// order in shard-mean averaging, so allow a small tolerance.
+func TestDataParallelMatchesSerial(t *testing.T) {
+	ds := jagSliceDataset(t, jag.Tiny8, 0, 32)
+
+	serialT := make([]*Trainer, 1)
+	w1 := comm.NewWorld(1)
+	w1.Run(func(c *comm.Comm) {
+		store := datastore.New(c, ds, datastore.ModeDynamic)
+		tr, err := New(Config{BatchSize: 16, XDim: jag.InputDim, ShuffleSeed: 5}, c, tinySurrogate(3), store, ds)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		serialT[0] = tr
+		if err := tr.Advance(4); err != nil {
+			t.Error(err)
+		}
+	})
+
+	parT := make([]*Trainer, 2)
+	w2 := comm.NewWorld(2)
+	w2.Run(func(c *comm.Comm) {
+		store := datastore.New(c, ds, datastore.ModeDynamic)
+		tr, err := New(Config{BatchSize: 16, XDim: jag.InputDim, ShuffleSeed: 5}, c, tinySurrogate(3), store, ds)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		parT[c.Rank()] = tr
+		if err := tr.Advance(4); err != nil {
+			t.Error(err)
+		}
+	})
+
+	sNets := serialT[0].Model.Nets()
+	pNets := parT[0].Model.Nets()
+	for i := range sNets {
+		ps, pp := sNets[i].Params(), pNets[i].Params()
+		for j := range ps {
+			if !ps[j].W.ApproxEqual(pp[j].W, 5e-2) {
+				t.Fatalf("net %d param %d: serial and 2-rank training diverged beyond tolerance", i, j)
+			}
+		}
+	}
+}
+
+func TestAdvanceCrossesEpochs(t *testing.T) {
+	ds := jagSliceDataset(t, jag.Tiny8, 0, 32)
+	w := comm.NewWorld(2)
+	trainers := buildTrainers(t, w, ds, 16)
+	// 2 steps per epoch; advancing 5 steps crosses 2 epoch boundaries.
+	w.Run(func(c *comm.Comm) {
+		if err := trainers[c.Rank()].Advance(5); err != nil {
+			t.Error(err)
+		}
+	})
+	st := trainers[0].Stats()
+	if st.Steps != 5 {
+		t.Fatalf("steps = %d, want 5", st.Steps)
+	}
+	if st.Epochs != 2 {
+		t.Fatalf("epochs = %d, want 2", st.Epochs)
+	}
+}
+
+func TestRunEpochStepCount(t *testing.T) {
+	ds := jagSliceDataset(t, jag.Tiny8, 0, 48)
+	w := comm.NewWorld(2)
+	trainers := buildTrainers(t, w, ds, 16)
+	w.Run(func(c *comm.Comm) {
+		if err := trainers[c.Rank()].RunEpoch(); err != nil {
+			t.Error(err)
+		}
+	})
+	if got := trainers[0].Stats().Steps; got != 3 {
+		t.Fatalf("RunEpoch took %d steps, want 3", got)
+	}
+	if got := trainers[0].StepsPerEpoch(); got != 3 {
+		t.Fatalf("StepsPerEpoch = %d, want 3", got)
+	}
+}
+
+func TestTrainingReducesLossAndEval(t *testing.T) {
+	ds := jagSliceDataset(t, jag.Tiny8, 0, 64)
+	val := jagSliceDataset(t, jag.Tiny8, 2000, 32)
+	w := comm.NewWorld(2)
+	trainers := buildTrainers(t, w, ds, 32)
+	evals := make([]float64, 2)
+	var before, after float64
+	w.Run(func(c *comm.Comm) {
+		tr := trainers[c.Rank()]
+		b, err := tr.Evaluate(val, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			before = b
+		}
+		if err := tr.Advance(60); err != nil {
+			t.Error(err)
+			return
+		}
+		a, err := tr.Evaluate(val, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		evals[c.Rank()] = a
+		if c.Rank() == 0 {
+			after = a
+		}
+	})
+	if evals[0] != evals[1] {
+		t.Fatalf("Evaluate must agree across ranks: %v vs %v", evals[0], evals[1])
+	}
+	if !(after < before*0.95) {
+		t.Fatalf("training did not improve eval: %v -> %v", before, after)
+	}
+	losses := trainers[0].Stats().Losses
+	if losses["autoencoder"] <= 0 || losses["fidelity"] <= 0 {
+		t.Fatalf("running losses missing: %v", losses)
+	}
+}
+
+func TestEvaluateConsistentAcrossStoreModes(t *testing.T) {
+	// Evaluation bypasses the store and must not depend on its mode.
+	ds := jagSliceDataset(t, jag.Tiny8, 0, 32)
+	val := jagSliceDataset(t, jag.Tiny8, 500, 16)
+	results := map[datastore.Mode]float64{}
+	var mu sync.Mutex
+	for _, mode := range []datastore.Mode{datastore.ModeNone, datastore.ModeDynamic, datastore.ModePreload} {
+		w := comm.NewWorld(2)
+		w.Run(func(c *comm.Comm) {
+			store := datastore.New(c, ds, mode)
+			if mode == datastore.ModePreload {
+				if err := store.Preload(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			tr, err := New(Config{BatchSize: 8, XDim: jag.InputDim, ShuffleSeed: 3}, c, tinySurrogate(11), store, ds)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			v, err := tr.Evaluate(val, 8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if c.Rank() == 0 {
+				mu.Lock()
+				results[mode] = v
+				mu.Unlock()
+			}
+		})
+	}
+	if results[datastore.ModeNone] != results[datastore.ModeDynamic] ||
+		results[datastore.ModeNone] != results[datastore.ModePreload] {
+		t.Fatalf("eval differs by store mode: %v", results)
+	}
+}
+
+func TestAllreduceReducerAverages(t *testing.T) {
+	w := comm.NewWorld(4)
+	results := make([]float32, 4)
+	w.Run(func(c *comm.Comm) {
+		m := tinySurrogate(2)
+		params := m.Forward.Params()
+		for _, p := range params {
+			p.Grad.Fill(float32(c.Rank() + 1)) // ranks contribute 1,2,3,4
+		}
+		AllreduceReducer{C: c}.Reduce(params)
+		results[c.Rank()] = params[0].Grad.Data[0]
+	})
+	for r, v := range results {
+		if v != 2.5 { // mean of 1..4
+			t.Fatalf("rank %d reduced grad = %v, want 2.5", r, v)
+		}
+	}
+}
+
+func TestAllreduceReducerSingleRankNoop(t *testing.T) {
+	w := comm.NewWorld(1)
+	w.Run(func(c *comm.Comm) {
+		m := tinySurrogate(2)
+		params := m.Forward.Params()
+		params[0].Grad.Fill(3)
+		AllreduceReducer{C: c}.Reduce(params)
+		if params[0].Grad.Data[0] != 3 {
+			t.Error("single-rank reduce must be identity")
+		}
+	})
+}
