@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/perfmodel"
 	"repro/internal/reader"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/trainer"
 )
@@ -283,6 +286,72 @@ func BenchmarkAblationInterval4(b *testing.B) { benchInterval(b, 4) }
 
 // BenchmarkAblationInterval16 holds tournaments every 16 steps.
 func BenchmarkAblationInterval16(b *testing.B) { benchInterval(b, 16) }
+
+// benchServe measures serving throughput with 64 concurrent clients;
+// one op is one served request. maxBatch 1 disables coalescing (every
+// request is its own forward pass), so the batched/unbatched ratio is
+// the serving-side analogue of the paper's bundle-file amortization
+// argument (Section II-C): fixed per-dispatch cost is paid once per
+// batch instead of once per request. On CPU-only hosts the real
+// per-pass cost is just allocation + scheduling hops + the flush
+// timer, so — exactly like ensemble.Config.TaskOverhead models
+// Merlin's per-task scheduler cost — PassOverhead models the
+// kernel-launch/RPC overhead of a production accelerator deployment
+// (20µs is the order of a CUDA launch plus inference-server hop).
+func benchServe(b *testing.B, maxBatch int) {
+	g := jag.Config{ImageSize: 4, Views: 3, Channels: 2}
+	cfg := cyclegan.DefaultConfig(g)
+	cfg.EncoderHidden = []int{16}
+	cfg.ForwardHidden = []int{8}
+	cfg.InverseHidden = []int{8}
+	cfg.DiscHidden = []int{8}
+	pool, err := serve.NewPool([]*cyclegan.Surrogate{cyclegan.New(cfg, 9)}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := serve.NewServer(pool, serve.Config{
+		MaxBatch:     maxBatch,
+		MaxDelay:     2 * time.Millisecond,
+		QueueDepth:   256,
+		PassOverhead: 20 * time.Microsecond,
+	})
+	defer srv.Close()
+
+	// 64 persistent clients issue b.N requests total; one op is one
+	// served request.
+	const clients = 64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			x := make([]float32, jag.InputDim)
+			for i := c; i < b.N; i += clients {
+				for d := range x {
+					x[d] = float32((i*7+d*13)%997) / 997
+				}
+				if _, err := srv.Predict(x); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	snap := srv.Stats()
+	b.ReportMetric(snap.MeanBatch, "mean_batch")
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServeBatched serves 64 concurrent clients through the
+// micro-batching queue (one coalesced forward pass per burst).
+func BenchmarkServeBatched(b *testing.B) { benchServe(b, 64) }
+
+// BenchmarkServeUnbatched serves the same load one request per forward
+// pass; compare req/s against BenchmarkServeBatched.
+func BenchmarkServeUnbatched(b *testing.B) { benchServe(b, 1) }
 
 // BenchmarkEnsembleGeneration measures the dataset-generation workflow
 // (samples/op via the reported time; one op = a 512-sample campaign).

@@ -1,0 +1,89 @@
+// Command jagserve serves surrogate predictions over HTTP from a
+// checkpoint produced by cmd/ltfbtrain — the deployment step of the
+// paper's workflow, where the trained generative model stands in for
+// the JAG simulator. Concurrent requests are coalesced by the
+// internal/serve micro-batching queue and answered by a pool of model
+// replicas, optionally ensemble-averaged across the top-k tournament
+// checkpoints.
+//
+// Endpoints:
+//
+//	POST /predict  {"input":[5 floats]} or {"inputs":[[...],...]}
+//	               (+ "scalars_only":true to drop image pixels)
+//	GET  /healthz  liveness + pool shape
+//	GET  /stats    latency / batch-occupancy / cache counters
+//
+// Usage:
+//
+//	ltfbtrain -trainers 4 -checkpoint model.ckpt -top 2
+//	jagserve -checkpoint model.ckpt -replicas 4            # throughput: 4 copies
+//	jagserve -checkpoint model.ckpt,model.2.ckpt -ensemble # quality: top-2 average
+//	curl -d '{"input":[0.5,0.5,0.5,0.5,0.5],"scalars_only":true}' localhost:8080/predict
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("jagserve: ")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	ckpt := flag.String("checkpoint", "", "checkpoint path(s), comma-separated; overrides the spec's list")
+	specPath := flag.String("spec", "", "model spec path (default <first checkpoint>.spec.json)")
+	replicas := flag.Int("replicas", 1, "model replicas (raised to the checkpoint count if lower; ignored with -ensemble, which uses one per checkpoint)")
+	ensemble := flag.Bool("ensemble", false, "average predictions across the checkpoints instead of round-robin")
+	maxBatch := flag.Int("max-batch", 64, "max requests coalesced into one forward pass")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max wait before flushing a partial batch")
+	queueDepth := flag.Int("queue-depth", 0, "max in-flight requests before 503 (0 = 4*max-batch)")
+	cacheSize := flag.Int("cache-size", 1024, "LRU response-cache entries (0 disables)")
+	flag.Parse()
+
+	var paths []string
+	for _, p := range strings.Split(*ckpt, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 && *specPath == "" {
+		log.Fatal("need -checkpoint or -spec")
+	}
+	sp := *specPath
+	if sp == "" {
+		sp = serve.SpecPath(paths[0])
+	}
+	spec, err := serve.LoadSpec(sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(paths) == 0 {
+		paths = spec.Checkpoints
+	}
+	if len(paths) == 0 {
+		log.Fatalf("spec %s lists no checkpoints and none given via -checkpoint", sp)
+	}
+
+	pool, err := serve.NewPoolFromCheckpoints(spec.Model, paths, *replicas, *ensemble)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.NewServer(pool, serve.Config{
+		MaxBatch:   *maxBatch,
+		MaxDelay:   *maxDelay,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+	})
+	defer srv.Close()
+
+	log.Printf("serving %d replica(s) of %d checkpoint(s) (ensemble=%v, output dim %d) on %s",
+		pool.Replicas(), len(paths), *ensemble, srv.OutputDim(), *addr)
+	if err := http.ListenAndServe(*addr, serve.NewHandler(srv)); err != nil {
+		log.Fatal(err)
+	}
+}

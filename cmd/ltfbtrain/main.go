@@ -4,19 +4,31 @@
 // tournaments every few steps, and the per-round population losses are
 // printed as a table.
 //
+// With -checkpoint the population's best models (by final-round
+// validation loss) are saved for serving: the best trainer's weights go
+// to the given path, trainers ranked 2..k (under -top k) to suffixed
+// paths, and a JSON model spec goes next to the first checkpoint so
+// cmd/jagserve can rebuild the architecture.
+//
 // Usage:
 //
 //	ltfbtrain -trainers 4 -ranks 2 -rounds 8 -round-steps 8 -samples 1024
+//	ltfbtrain -trainers 4 -checkpoint model.ckpt -top 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
+	"sort"
+	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/ltfb"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -31,6 +43,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	adversarial := flag.Bool("adversarial-metric", false, "judge tournaments with the local discriminator instead of validation loss")
 	lrJitter := flag.Float64("lr-jitter", 0, "spread per-trainer learning rates by this factor (population-based training)")
+	ckptPath := flag.String("checkpoint", "", "save the population-best model(s) here for serving")
+	topK := flag.Int("top", 1, "with -checkpoint, save this many best models (an ensemble for jagserve)")
 	flag.Parse()
 
 	cfg := core.DefaultQualityConfig(*trainers)
@@ -61,4 +75,61 @@ func main() {
 	fmt.Printf("best-loss trajectory: %s\n", metrics.Sparkline(res.BestSeries))
 	fmt.Printf("tournament adoptions: %d\n", res.Adoptions)
 	fmt.Printf("final population-best validation loss: %.5f\n", res.FinalBest)
+
+	if *ckptPath != "" {
+		if err := saveCheckpoints(*ckptPath, *topK, cfg, res); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// rankedCheckpointPath returns the file for the i-th best model: the
+// base path for i=0, base.{i+1}.ext for the rest.
+func rankedCheckpointPath(path string, i int) string {
+	if i == 0 {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + fmt.Sprintf(".%d", i+1) + ext
+}
+
+// saveCheckpoints writes the top-k models by final-round validation
+// loss plus the serving spec sidecar.
+func saveCheckpoints(path string, k int, cfg core.QualityConfig, res *core.QualityResult) error {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(res.Models) {
+		k = len(res.Models)
+	}
+	final := res.RoundLosses[len(res.RoundLosses)-1]
+	order := make([]int, len(res.Models))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return final[order[a]] < final[order[b]] })
+
+	step := int64(cfg.Rounds * cfg.RoundSteps)
+	paths := make([]string, k)
+	for i := 0; i < k; i++ {
+		paths[i] = rankedCheckpointPath(path, i)
+		m := res.Models[order[i]]
+		if err := checkpoint.Save(paths[i], step, m.Nets()); err != nil {
+			return err
+		}
+		fmt.Printf("saved trainer %d (val loss %.5f) to %s\n", order[i], final[order[i]], paths[i])
+	}
+	// Spec entries are spec-relative (the checkpoints are siblings of
+	// the spec file), so the whole directory can be moved or mounted
+	// elsewhere and still serve.
+	rel := make([]string, len(paths))
+	for i, p := range paths {
+		rel[i] = filepath.Base(p)
+	}
+	spec := serve.ModelSpec{Model: cfg.Model, Step: step, Checkpoints: rel}
+	if err := serve.SaveSpec(serve.SpecPath(path), spec); err != nil {
+		return err
+	}
+	fmt.Printf("saved model spec to %s\n", serve.SpecPath(path))
+	return nil
 }

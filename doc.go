@@ -6,6 +6,18 @@
 // hardware and data the paper used (the Lassen supercomputer, GPFS, and the
 // 10M-sample JAG ICF corpus).
 //
+// Beyond training, the repository covers the deployment step the paper
+// motivates: a trained surrogate replacing the JAG simulator for
+// downstream consumers. internal/serve coalesces concurrent prediction
+// requests into single batched forward passes (the serving-side twin of
+// the paper's ingest batching), spreads them over a pool of model
+// replicas with optional ensemble averaging across tournament winners,
+// caches repeated design points in an LRU, and sheds overload via
+// bounded backpressure. cmd/ltfbtrain -checkpoint saves a trained
+// population's best models; cmd/jagserve serves them over HTTP JSON
+// (/predict, /healthz, /stats); examples/serving walks the whole
+// train → checkpoint → serve → query path in one process.
+//
 // Start with README.md for the layout, DESIGN.md for the system inventory
 // and substitution rationale, and EXPERIMENTS.md for paper-vs-measured
 // results. The benchmarks in bench_test.go regenerate every figure of the

@@ -1,0 +1,109 @@
+// Serving quickstart: the full path from training to answering
+// prediction requests — train a tiny surrogate, checkpoint it, load it
+// into the micro-batching server, and hit it with a burst of
+// concurrent clients. This is the workflow cmd/ltfbtrain + cmd/jagserve
+// run across two processes, condensed into one.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/cyclegan"
+	"repro/internal/jag"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serving: ")
+
+	// 1. Train a small surrogate (a single trainer, no tournaments;
+	// see examples/ltfb_scaling for the population workflow).
+	cfg := cyclegan.DefaultConfig(jag.Tiny8)
+	cfg.EncoderHidden = []int{32}
+	cfg.ForwardHidden = []int{16}
+	cfg.InverseHidden = []int{12}
+	cfg.DiscHidden = []int{12}
+	fmt.Println("training a tiny surrogate...")
+	model, err := core.TrainSurrogate(cfg, 256, 120, 16, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Checkpoint it with the serving spec sidecar, as ltfbtrain
+	// -checkpoint does.
+	dir, err := os.MkdirTemp("", "serving-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "model.ckpt")
+	if err := checkpoint.Save(ckpt, 120, model.Nets()); err != nil {
+		log.Fatal(err)
+	}
+	spec := serve.ModelSpec{Model: cfg, Step: 120, Checkpoints: []string{ckpt}}
+	if err := serve.SaveSpec(serve.SpecPath(ckpt), spec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpointed to %s\n", ckpt)
+
+	// 3. Load the checkpoint into a 2-replica serving pool behind the
+	// micro-batching queue (cmd/jagserve adds the HTTP layer on top).
+	loaded, err := serve.LoadSpec(serve.SpecPath(ckpt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := serve.NewPoolFromCheckpoints(loaded.Model, loaded.Checkpoints, 2, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.NewServer(pool, serve.Config{
+		MaxBatch:  32,
+		MaxDelay:  2 * time.Millisecond,
+		CacheSize: 256,
+	})
+	defer srv.Close()
+
+	// 4. Query it from 64 concurrent clients, like simultaneous users
+	// exploring the design space. Repeated design points hit the LRU
+	// cache instead of the model.
+	const clients, perClient = 64, 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				x := []float32{
+					float32(c%8) / 8,
+					float32(i) / perClient,
+					0.5, 0.25, 0.75,
+				}
+				if _, err := srv.Predict(x); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	snap := srv.Stats()
+	tab := metrics.NewTable("serving a checkpointed surrogate",
+		"requests", "batches", "mean_batch", "cache_hits", "mean_latency_ms")
+	tab.AddRow(snap.Requests, snap.Batches, snap.MeanBatch, snap.CacheHits, snap.MeanLatMs)
+	fmt.Print(tab.Render())
+	fmt.Printf("throughput: %.0f predictions/sec (replicas=%d)\n",
+		snap.ThroughputPS, pool.Replicas())
+}

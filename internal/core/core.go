@@ -144,6 +144,10 @@ type QualityResult struct {
 	Adoptions int
 	// FinalBest is the last entry of BestSeries.
 	FinalBest float64
+	// Models holds each trainer's final surrogate (the rank-0 replica),
+	// indexed by trainer ID — the bridge from a training run to
+	// checkpointing and serving (internal/serve).
+	Models []*cyclegan.Surrogate
 }
 
 // datasetFor materializes the experiment's corpus deterministically: train,
@@ -197,6 +201,7 @@ func RunPopulation(c QualityConfig) (*QualityResult, error) {
 	}
 	errs := make([]error, worldSize)
 	adoptions := make([]int, c.Trainers)
+	models := make([]*cyclegan.Surrogate, c.Trainers)
 
 	w.Run(func(wc *comm.Comm) {
 		trainerID := wc.Rank() / c.RanksPerTrainer
@@ -210,6 +215,9 @@ func RunPopulation(c QualityConfig) (*QualityResult, error) {
 		modelCfg := c.Model
 		modelCfg.LR = c.trainerLR(trainerID)
 		model := cyclegan.New(modelCfg, c.Seed+int64(trainerID)*101)
+		if tc.Rank() == 0 {
+			models[trainerID] = model
+		}
 		tr, err := trainer.New(trainer.Config{
 			ID:          trainerID,
 			BatchSize:   c.BatchSize,
@@ -285,6 +293,7 @@ func RunPopulation(c QualityConfig) (*QualityResult, error) {
 		res.MeanSeries = append(res.MeanSeries, mean/float64(len(round)))
 	}
 	res.FinalBest = res.BestSeries[len(res.BestSeries)-1]
+	res.Models = models
 	return res, nil
 }
 

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// quantKey snaps each input coordinate to a grid of step q and packs
+// the bit patterns of the snapped values into a compact string key.
+// Two inputs within the same grid cell share a cache entry, so q is
+// the knob between exact-match caching (tiny q) and tolerant caching
+// for near-duplicate queries. Keying on the rounded value's float bits
+// rather than an integer cell index keeps coordinates far outside the
+// unit cube distinct (an int64 cell index would overflow and collapse
+// them all onto one sentinel key).
+func quantKey(x []float32, q float64) string {
+	buf := make([]byte, 4*len(x))
+	for i, v := range x {
+		cell := float32(math.Round(float64(v)/q) * q)
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(cell))
+	}
+	return string(buf)
+}
+
+// lru is a mutex-guarded fixed-capacity LRU map from quantized input
+// keys to prediction rows. Values are treated as immutable: put stores
+// the caller's slice and get returns it without copying, so neither
+// side may mutate a row after it enters the cache.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// entry is one cached prediction.
+type entry struct {
+	key string
+	y   []float32
+}
+
+// newLRU creates a cache holding at most capacity entries.
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached prediction for key, refreshing its recency.
+func (c *lru) get(key string) ([]float32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).y, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lru) put(key string, y []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).y = y
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry{key: key, y: y})
+	if c.order.Len() > c.cap {
+		old := c.order.Back()
+		c.order.Remove(old)
+		delete(c.items, old.Value.(*entry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLRUEviction checks capacity enforcement and recency order.
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []float32{1})
+	c.put("b", []float32{2})
+	if _, ok := c.get("a"); !ok { // refresh a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []float32{3}) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// TestLRUUpdate checks that re-putting a key refreshes the value
+// without growing the cache.
+func TestLRUUpdate(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []float32{1})
+	c.put("a", []float32{9})
+	y, ok := c.get("a")
+	if !ok || y[0] != 9 {
+		t.Fatalf("got %v, want [9]", y)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+// TestQuantKey checks that nearby inputs share a key only within the
+// quantization cell.
+func TestQuantKey(t *testing.T) {
+	a := []float32{0.5, 0.1, 0.9, 0.3, 0.7}
+	b := []float32{0.5 + 1e-9, 0.1, 0.9, 0.3, 0.7}
+	if quantKey(a, 1e-3) != quantKey(b, 1e-3) {
+		t.Fatal("inputs in the same cell got different keys")
+	}
+	c := []float32{0.6, 0.1, 0.9, 0.3, 0.7}
+	if quantKey(a, 1e-3) == quantKey(c, 1e-3) {
+		t.Fatal("distinct inputs collided")
+	}
+	if quantKey(a, 1e-3) == quantKey(a[:4], 1e-3) {
+		t.Fatal("different lengths collided")
+	}
+	// Coordinates far outside the unit cube must stay distinct (an
+	// integer cell index would overflow and collapse them).
+	big1 := []float32{1e30, 0.1, 0.9, 0.3, 0.7}
+	big2 := []float32{2e30, 0.1, 0.9, 0.3, 0.7}
+	if quantKey(big1, 1e-6) == quantKey(big2, 1e-6) {
+		t.Fatal("huge distinct inputs collided")
+	}
+}
+
+// TestLRUConcurrent exercises the cache from many goroutines for the
+// race detector.
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%64)
+				if y, ok := c.get(key); ok && len(y) != 1 {
+					t.Errorf("corrupt value for %s", key)
+					return
+				}
+				c.put(key, []float32{float32(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 32 {
+		t.Fatalf("len = %d, want <= 32", c.len())
+	}
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/jag"
+)
+
+// PredictRequest is the /predict JSON body: either one input or a list.
+type PredictRequest struct {
+	// Input is a single 5-D parameter vector.
+	Input []float32 `json:"input,omitempty"`
+	// Inputs is a batch of 5-D parameter vectors; each row is submitted
+	// to the batching queue independently, so one HTTP batch and many
+	// concurrent single-input calls coalesce identically.
+	Inputs [][]float32 `json:"inputs,omitempty"`
+	// ScalarsOnly trims each output row to the 15 scalar observables,
+	// dropping the X-ray image pixels (which dominate the payload).
+	ScalarsOnly bool `json:"scalars_only,omitempty"`
+}
+
+// PredictResponse is the /predict JSON reply, rows aligned with the
+// request inputs.
+type PredictResponse struct {
+	Outputs [][]float32 `json:"outputs"`
+}
+
+// healthResponse is the /healthz JSON reply.
+type healthResponse struct {
+	Status    string `json:"status"`
+	Replicas  int    `json:"replicas"`
+	Ensemble  bool   `json:"ensemble"`
+	OutputDim int    `json:"output_dim"`
+}
+
+// NewHandler exposes a Server over HTTP JSON: POST /predict, GET
+// /healthz, GET /stats. cmd/jagserve mounts exactly this handler; tests
+// drive it through httptest.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		var req PredictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+			return
+		}
+		inputs := req.Inputs
+		if req.Input != nil {
+			inputs = append([][]float32{req.Input}, inputs...)
+		}
+		if len(inputs) == 0 {
+			httpError(w, http.StatusBadRequest, "no inputs")
+			return
+		}
+		outputs := make([][]float32, len(inputs))
+		errs := make([]error, len(inputs))
+		// Submit rows concurrently so one HTTP batch benefits from the
+		// same coalescing as independent clients — but throttled to half
+		// the queue depth, so a single large batch cannot trip its own
+		// backpressure (ErrOverloaded is for contention between clients,
+		// not for one request's row count).
+		limit := s.cfg.QueueDepth / 2
+		if limit < 1 {
+			limit = 1
+		}
+		sem := make(chan struct{}, limit)
+		var wg sync.WaitGroup
+		for i := range inputs {
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outputs[i], errs[i] = s.Predict(inputs[i])
+				<-sem
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				status := http.StatusInternalServerError
+				switch {
+				case errors.Is(err, ErrOverloaded):
+					status = http.StatusServiceUnavailable
+				case errors.Is(err, ErrClosed):
+					status = http.StatusServiceUnavailable
+				default:
+					status = http.StatusBadRequest
+				}
+				httpError(w, status, err.Error())
+				return
+			}
+		}
+		if req.ScalarsOnly {
+			for i, row := range outputs {
+				if len(row) > jag.ScalarDim {
+					outputs[i] = row[:jag.ScalarDim]
+				}
+			}
+		}
+		writeJSON(w, PredictResponse{Outputs: outputs})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, healthResponse{
+			Status:    "ok",
+			Replicas:  s.Pool().Replicas(),
+			Ensemble:  s.Pool().Ensemble(),
+			OutputDim: s.OutputDim(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+// writeJSON renders v as a JSON response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// httpError renders a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cyclegan"
+	"repro/internal/jag"
+)
+
+// newTestHTTP starts an httptest server over a single-replica pool.
+func newTestHTTP(t *testing.T) *httptest.Server {
+	t.Helper()
+	model := cyclegan.New(testModelCfg(), 42)
+	pool, err := NewPool([]*cyclegan.Surrogate{model}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(pool, Config{MaxBatch: 8, CacheSize: 16})
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// postPredict posts a PredictRequest and decodes the reply.
+func postPredict(t *testing.T, ts *httptest.Server, req PredictRequest) (PredictResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out PredictResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, resp.StatusCode
+}
+
+// TestHTTPPredict drives /predict with a batch and a single input.
+func TestHTTPPredict(t *testing.T) {
+	ts := newTestHTTP(t)
+	outDim := jag.Tiny8.OutputDim()
+
+	out, code := postPredict(t, ts, PredictRequest{
+		Inputs: [][]float32{testInput(0), testInput(1)},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Outputs) != 2 || len(out.Outputs[0]) != outDim {
+		t.Fatalf("got %d outputs of width %d, want 2 x %d", len(out.Outputs), len(out.Outputs[0]), outDim)
+	}
+
+	single, code := postPredict(t, ts, PredictRequest{Input: testInput(0)})
+	if code != http.StatusOK || len(single.Outputs) != 1 {
+		t.Fatalf("single input: status %d, %d outputs", code, len(single.Outputs))
+	}
+	for j, v := range single.Outputs[0] {
+		if v != out.Outputs[0][j] {
+			t.Fatal("single-input reply differs from batch reply for the same input")
+		}
+	}
+}
+
+// TestHTTPLargeBatch posts more inputs than the server's queue depth:
+// the handler must throttle row submission instead of tripping its own
+// backpressure and failing the whole request with 503.
+func TestHTTPLargeBatch(t *testing.T) {
+	model := cyclegan.New(testModelCfg(), 42)
+	pool, err := NewPool([]*cyclegan.Surrogate{model}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(pool, Config{MaxBatch: 8, QueueDepth: 16})
+	ts := httptest.NewServer(NewHandler(s))
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	const n = 100 // > QueueDepth
+	inputs := make([][]float32, n)
+	for i := range inputs {
+		inputs[i] = testInput(i)
+	}
+	out, code := postPredict(t, ts, PredictRequest{Inputs: inputs})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200 for batch larger than queue depth", code)
+	}
+	if len(out.Outputs) != n {
+		t.Fatalf("got %d outputs, want %d", len(out.Outputs), n)
+	}
+}
+
+// TestHTTPScalarsOnly checks the payload-trimming flag.
+func TestHTTPScalarsOnly(t *testing.T) {
+	ts := newTestHTTP(t)
+	out, code := postPredict(t, ts, PredictRequest{Input: testInput(2), ScalarsOnly: true})
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Outputs[0]) != jag.ScalarDim {
+		t.Fatalf("scalars_only width %d, want %d", len(out.Outputs[0]), jag.ScalarDim)
+	}
+}
+
+// TestHTTPErrors covers method, body and dimension validation.
+func TestHTTPErrors(t *testing.T) {
+	ts := newTestHTTP(t)
+
+	resp, err := http.Get(ts.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/predict", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json status %d", resp.StatusCode)
+	}
+
+	if _, code := postPredict(t, ts, PredictRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("empty request status %d", code)
+	}
+	if _, code := postPredict(t, ts, PredictRequest{Input: []float32{1}}); code != http.StatusBadRequest {
+		t.Fatalf("short input status %d", code)
+	}
+}
+
+// TestHTTPHealthAndStats checks the observability endpoints.
+func TestHTTPHealthAndStats(t *testing.T) {
+	ts := newTestHTTP(t)
+	postPredict(t, ts, PredictRequest{Input: testInput(0)})
+	postPredict(t, ts, PredictRequest{Input: testInput(0)}) // cache hit
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Replicas int    `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Replicas != 1 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Requests != 1 || snap.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want 1 model request and 1 cache hit", snap)
+	}
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cyclegan"
+	"repro/internal/tensor"
+)
+
+// Pool holds N surrogate replicas behind per-replica locks. nn.Network
+// caches forward activations inside the layers, so a replica admits one
+// batch at a time; the pool is the unit of serving parallelism. In
+// round-robin mode every replica answers alone (they may be copies of
+// one checkpoint, or different checkpoints for cheap A/B capacity); in
+// ensemble mode each batch runs through every replica and the
+// predictions are averaged — the serving-side use of the LTFB insight
+// that a population of tournament survivors carries more information
+// than any single member (Section III-C's lineage argument).
+type Pool struct {
+	replicas []*cyclegan.Surrogate
+	locks    []sync.Mutex
+	next     atomic.Uint64
+	ensemble bool
+}
+
+// NewPool wraps already-built surrogates. All replicas must share the
+// same geometry. ensemble selects averaging across replicas instead of
+// round-robin dispatch.
+func NewPool(replicas []*cyclegan.Surrogate, ensemble bool) (*Pool, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("serve: pool needs at least one replica")
+	}
+	dim := replicas[0].Cfg.Geometry.OutputDim()
+	for i, r := range replicas {
+		if r.Cfg.Geometry.OutputDim() != dim {
+			return nil, fmt.Errorf("serve: replica %d output dim %d, want %d",
+				i, r.Cfg.Geometry.OutputDim(), dim)
+		}
+	}
+	return &Pool{
+		replicas: replicas,
+		locks:    make([]sync.Mutex, len(replicas)),
+		ensemble: ensemble,
+	}, nil
+}
+
+// NewPoolFromCheckpoints builds a pool of `replicas` surrogates with
+// architecture cfg, loading weights round-robin from the checkpoint
+// paths (so one path replicated N times gives N identical replicas, and
+// the top-k tournament checkpoints give a k-way ensemble). In ensemble
+// mode the pool holds exactly one replica per checkpoint regardless of
+// `replicas`: every batch runs through every replica, so duplicates
+// would both bias the average toward repeated checkpoints and add pure
+// wasted compute. Optimizer state is not restored — serving is
+// inference-only.
+func NewPoolFromCheckpoints(cfg cyclegan.Config, paths []string, replicas int, ensemble bool) (*Pool, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("serve: no checkpoint paths")
+	}
+	if ensemble {
+		replicas = len(paths)
+	} else if replicas < len(paths) {
+		replicas = len(paths)
+	}
+	models := make([]*cyclegan.Surrogate, replicas)
+	for i := range models {
+		m := cyclegan.New(cfg, 0)
+		if _, err := checkpoint.Load(paths[i%len(paths)], m.Nets()); err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	return NewPool(models, ensemble)
+}
+
+// Replicas returns the pool width.
+func (p *Pool) Replicas() int { return len(p.replicas) }
+
+// Ensemble reports whether the pool averages across replicas.
+func (p *Pool) Ensemble() bool { return p.ensemble }
+
+// OutputDim returns the width of one prediction row.
+func (p *Pool) OutputDim() int { return p.replicas[0].Cfg.Geometry.OutputDim() }
+
+// Run predicts one batch. Round-robin mode locks a single replica;
+// ensemble mode fans the batch out to every replica concurrently and
+// averages the predictions elementwise.
+func (p *Pool) Run(x *tensor.Matrix) *tensor.Matrix {
+	if !p.ensemble || len(p.replicas) == 1 {
+		i := int(p.next.Add(1)-1) % len(p.replicas)
+		p.locks[i].Lock()
+		defer p.locks[i].Unlock()
+		return p.replicas[i].Predict(x)
+	}
+
+	outs := make([]*tensor.Matrix, len(p.replicas))
+	var wg sync.WaitGroup
+	for i := range p.replicas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.locks[i].Lock()
+			defer p.locks[i].Unlock()
+			outs[i] = p.replicas[i].Predict(x)
+		}(i)
+	}
+	wg.Wait()
+
+	sum := outs[0]
+	for _, o := range outs[1:] {
+		tensor.Add(sum, sum, o)
+	}
+	tensor.Scale(sum, 1/float32(len(p.replicas)))
+	return sum
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cyclegan"
+	"repro/internal/jag"
+	"repro/internal/tensor"
+)
+
+// testBatch builds a deterministic input batch.
+func testBatch(n int) *tensor.Matrix {
+	x := tensor.New(n, jag.InputDim)
+	for i := 0; i < n; i++ {
+		copy(x.Row(i), testInput(i))
+	}
+	return x
+}
+
+// TestCheckpointRoundTripBitwise saves a surrogate, reloads it through
+// the serve pool, and requires bitwise-identical predictions — the
+// guarantee that deploying a checkpoint serves exactly the model that
+// was trained.
+func TestCheckpointRoundTripBitwise(t *testing.T) {
+	cfg := testModelCfg()
+	model := cyclegan.New(cfg, 7)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := checkpoint.Save(path, 123, model.Nets()); err != nil {
+		t.Fatal(err)
+	}
+
+	pool, err := NewPoolFromCheckpoints(cfg, []string{path}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want 2", pool.Replicas())
+	}
+
+	x := testBatch(6)
+	want := model.Predict(x)
+	for rep := 0; rep < pool.Replicas(); rep++ { // round-robin hits both
+		got := pool.Run(x)
+		if !got.Equal(want) {
+			t.Fatalf("replica pass %d: reloaded prediction differs from in-memory model", rep)
+		}
+	}
+}
+
+// TestPoolEnsembleAverages checks that ensemble mode returns the
+// elementwise mean of the member predictions.
+func TestPoolEnsembleAverages(t *testing.T) {
+	cfg := testModelCfg()
+	a := cyclegan.New(cfg, 1)
+	b := cyclegan.New(cfg, 2)
+	pool, err := NewPool([]*cyclegan.Surrogate{a, b}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := testBatch(4)
+	got := pool.Run(x)
+	ya, yb := a.Predict(x), b.Predict(x)
+	want := tensor.New(ya.Rows, ya.Cols)
+	tensor.Add(want, ya, yb)
+	tensor.Scale(want, 0.5)
+	if !got.ApproxEqual(want, 1e-6) {
+		t.Fatal("ensemble output is not the replica mean")
+	}
+}
+
+// TestPoolEnsembleFromCheckpoints loads two distinct checkpoints and
+// checks the ensemble differs from either member (i.e. both contribute).
+func TestPoolEnsembleFromCheckpoints(t *testing.T) {
+	cfg := testModelCfg()
+	dir := t.TempDir()
+	var paths []string
+	models := []*cyclegan.Surrogate{cyclegan.New(cfg, 11), cyclegan.New(cfg, 22)}
+	for i, m := range models {
+		p := filepath.Join(dir, "m"+string(rune('0'+i))+".ckpt")
+		if err := checkpoint.Save(p, 0, m.Nets()); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	// Ensemble mode clamps to one replica per checkpoint: duplicates
+	// would bias the average and waste compute.
+	pool, err := NewPoolFromCheckpoints(cfg, paths, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want 2 (one per checkpoint in ensemble mode)", pool.Replicas())
+	}
+	x := testBatch(3)
+	got := pool.Run(x)
+	if got.Equal(models[0].Predict(x)) || got.Equal(models[1].Predict(x)) {
+		t.Fatal("ensemble output equals a single member")
+	}
+}
+
+// TestPoolValidation covers the error paths.
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, false); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := NewPoolFromCheckpoints(testModelCfg(), nil, 1, false); err == nil {
+		t.Fatal("no-path pool accepted")
+	}
+	if _, err := NewPoolFromCheckpoints(testModelCfg(), []string{"/nonexistent.ckpt"}, 1, false); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+// TestSpecRoundTrip checks the JSON sidecar survives a save/load cycle.
+func TestSpecRoundTrip(t *testing.T) {
+	cfg := testModelCfg()
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	spec := ModelSpec{Model: cfg, Step: 42, Checkpoints: []string{path}}
+	if err := SaveSpec(SpecPath(path), spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(SpecPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 42 || len(got.Checkpoints) != 1 || got.Checkpoints[0] != path {
+		t.Fatalf("spec mismatch: %+v", got)
+	}
+	if got.Model.LatentDim != cfg.LatentDim || got.Model.Geometry != cfg.Geometry {
+		t.Fatalf("model config mismatch: %+v", got.Model)
+	}
+	if _, err := LoadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+}
+
+// TestSpecRelativeCheckpoints checks that relative checkpoint entries
+// resolve against the spec file's directory, so a checkpoint directory
+// can be relocated wholesale.
+func TestSpecRelativeCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	specFile := filepath.Join(dir, "model.ckpt.spec.json")
+	spec := ModelSpec{Model: testModelCfg(), Checkpoints: []string{"model.ckpt", "model.2.ckpt"}}
+	if err := SaveSpec(specFile, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(specFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, "model.ckpt"), filepath.Join(dir, "model.2.ckpt")}
+	for i, p := range got.Checkpoints {
+		if p != want[i] {
+			t.Fatalf("checkpoint[%d] = %q, want %q", i, p, want[i])
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package serve turns a trained surrogate into an online prediction
+// service — the deployment side of the paper's workflow, where the
+// generative model replaces the JAG simulator for downstream consumers.
+//
+// The core piece is a dynamic micro-batching queue: concurrent Predict
+// callers are coalesced into a single tensor.Matrix mini-batch, run
+// through one forward pass, and the result rows scattered back to their
+// callers. This is the serving-side twin of the ingest economics the
+// paper exploits with Merlin and bundle files (Section II-C): per-call
+// overhead dominates tiny workloads, so amortizing it across a batch is
+// where the throughput lives. A batch is flushed when it reaches
+// MaxBatch requests or when the oldest queued request has waited
+// MaxDelay, whichever comes first.
+//
+// Around the queue sit:
+//
+//   - a replica pool (pool.go) that round-robins batches across N model
+//     replicas — nn.Network is not safe for concurrent use, so each
+//     replica is guarded and replicas are what provide parallelism —
+//     with optional ensemble averaging across replicas loaded from
+//     different checkpoints (e.g. the top-k LTFB tournament finishers);
+//   - an LRU response cache (cache.go) keyed on quantized input
+//     parameters, exploiting that surrogate queries cluster around
+//     design points of interest;
+//   - backpressure: the number of in-flight requests is bounded by
+//     QueueDepth and excess callers fail fast with ErrOverloaded
+//     instead of queueing without bound;
+//   - instrumentation (stats.go) built on metrics.Meter: request
+//     latency, batch occupancy, throughput, cache hit/miss and
+//     overload counters, exposed as a JSON-friendly snapshot.
+//
+// http.go adds the JSON transport used by cmd/jagserve.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jag"
+	"repro/internal/tensor"
+)
+
+// Errors returned by Predict.
+var (
+	// ErrOverloaded is returned when QueueDepth requests are already in
+	// flight; callers should back off and retry (HTTP 503).
+	ErrOverloaded = errors.New("serve: overloaded, queue full")
+	// ErrClosed is returned once the server has been shut down.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Config tunes the serving pipeline around a loaded Pool.
+type Config struct {
+	// MaxBatch is the largest number of requests coalesced into one
+	// forward pass (default 64).
+	MaxBatch int
+	// MaxDelay is how long the oldest queued request may wait before a
+	// partial batch is flushed (default 2ms). Latency floor vs batch
+	// occupancy is the serving trade-off this knob sets.
+	MaxDelay time.Duration
+	// QueueDepth bounds the number of in-flight requests; further
+	// Predict calls fail with ErrOverloaded (default 4*MaxBatch).
+	QueueDepth int
+	// CacheSize is the LRU response-cache capacity in entries; 0
+	// disables caching.
+	CacheSize int
+	// CacheQuantum is the grid step inputs are snapped to when forming
+	// cache keys (default 1e-6). Coarser grids trade exactness for hit
+	// rate; the JAG input cube is [0,1]^5 so 1e-6 is effectively exact.
+	CacheQuantum float64
+	// PassOverhead simulates fixed per-dispatch cost ahead of each
+	// forward pass — the GPU kernel-launch / accelerator-RPC overhead a
+	// production deployment pays once per batch. Zero for library use;
+	// the benchmarks use it the way ensemble.Config.TaskOverhead models
+	// Merlin's per-task scheduler cost (Section II-C), to make the
+	// batching economics measurable on CPU-only hosts where per-row
+	// arithmetic is the only real per-pass cost.
+	PassOverhead time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.CacheQuantum <= 0 {
+		c.CacheQuantum = 1e-6
+	}
+	return c
+}
+
+// request is one queued prediction with its reply channel.
+type request struct {
+	x        []float32
+	enqueued time.Time
+	resp     chan []float32
+}
+
+// Server owns the micro-batching queue in front of a replica pool.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	cache *lru
+	stats *Stats
+
+	queue    chan *request
+	batches  chan []*request
+	inflight atomic.Int64
+
+	mu     sync.RWMutex // guards closed vs in-progress queue sends
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts the batcher and one worker per pool replica. Close
+// must be called to release them.
+func NewServer(pool *Pool, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    pool,
+		stats:   newStats(),
+		queue:   make(chan *request, cfg.QueueDepth),
+		batches: make(chan []*request, pool.Replicas()),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRU(cfg.CacheSize)
+	}
+	s.wg.Add(1)
+	go s.batchLoop()
+	// One worker per replica: a worker holds a whole batch through one
+	// forward pass, so replica count is the pipeline's parallel width.
+	for w := 0; w < pool.Replicas(); w++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+	return s
+}
+
+// Pool returns the replica pool the server dispatches to.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// OutputDim returns the width of prediction vectors.
+func (s *Server) OutputDim() int { return s.pool.OutputDim() }
+
+// Predict returns the surrogate's output bundle for one 5-D input. It
+// blocks until the batched forward pass completes, fails fast with
+// ErrOverloaded under backpressure, and serves repeated inputs from the
+// LRU cache when one is configured. The returned slice is the
+// caller's on a miss; on a cache hit it is the shared cached row and
+// must not be mutated.
+func (s *Server) Predict(x []float32) ([]float32, error) {
+	if len(x) != jag.InputDim {
+		return nil, fmt.Errorf("serve: input dim %d, want %d", len(x), jag.InputDim)
+	}
+	for _, v := range x {
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("serve: non-finite input %v", v)
+		}
+	}
+	var key string
+	if s.cache != nil {
+		key = quantKey(x, s.cfg.CacheQuantum)
+		if y, ok := s.cache.get(key); ok {
+			s.stats.cacheHit()
+			return y, nil
+		}
+	}
+
+	if s.inflight.Add(1) > int64(s.cfg.QueueDepth) {
+		s.inflight.Add(-1)
+		s.stats.overload()
+		return nil, ErrOverloaded
+	}
+	req := &request{x: x, enqueued: time.Now(), resp: make(chan []float32, 1)}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.inflight.Add(-1)
+		return nil, ErrClosed
+	}
+	s.queue <- req // cannot block: inflight <= QueueDepth == cap(queue)
+	s.mu.RUnlock()
+	if s.cache != nil {
+		// Counted only once the request is admitted, so overload
+		// rejections don't inflate the miss rate.
+		s.stats.cacheMiss()
+	}
+
+	y := <-req.resp
+	s.inflight.Add(-1)
+	if y == nil {
+		return nil, ErrClosed
+	}
+	if s.cache != nil {
+		// Cache a copy: y is a view into the whole batch output matrix,
+		// and caching the view would pin MaxBatch rows per entry.
+		s.cache.put(key, append([]float32(nil), y...))
+	}
+	return y, nil
+}
+
+// batchLoop coalesces queued requests into batches: flush at MaxBatch
+// occupancy or MaxDelay after the first request of the batch arrived.
+func (s *Server) batchLoop() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	// Go 1.23+ timer semantics: Stop/Reset discard any pending fire, so
+	// no manual channel draining is needed between batches.
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		pending := make([]*request, 1, s.cfg.MaxBatch)
+		pending[0] = first
+		timer.Reset(s.cfg.MaxDelay)
+		closed := false
+	collect:
+		for len(pending) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					closed = true
+					break collect
+				}
+				pending = append(pending, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.batches <- pending
+		if closed {
+			return
+		}
+	}
+}
+
+// workerLoop assembles each batch into one matrix, runs it through the
+// pool, and scatters the rows back to the waiting callers.
+func (s *Server) workerLoop() {
+	defer s.wg.Done()
+	for reqs := range s.batches {
+		x := tensor.New(len(reqs), jag.InputDim)
+		for i, r := range reqs {
+			copy(x.Row(i), r.x)
+		}
+		if s.cfg.PassOverhead > 0 {
+			// Spin rather than sleep: modeled dispatch overhead keeps
+			// the execution unit busy, like a kernel launch does.
+			for start := time.Now(); time.Since(start) < s.cfg.PassOverhead; {
+			}
+		}
+		y := s.pool.Run(x)
+		now := time.Now()
+		for i, r := range reqs {
+			// Copy the row out of the batch matrix: a view would pin
+			// all MaxBatch rows for as long as any caller retains its
+			// result.
+			out := make([]float32, y.Cols)
+			copy(out, y.Row(i))
+			s.stats.request(now.Sub(r.enqueued))
+			r.resp <- out
+		}
+		s.stats.batch(len(reqs))
+	}
+}
+
+// Stats returns a consistent snapshot of the serving counters.
+func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// Close drains the pipeline and releases the batcher and workers.
+// In-flight requests complete; concurrent and later Predict calls
+// return ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cyclegan"
+)
+
+// ModelSpec is the JSON sidecar written next to a checkpoint so a
+// server can rebuild the surrogate architecture before loading weights:
+// checkpoint files store only the flattened parameters (nn
+// serialization is shape-checked, not self-describing), so serving
+// needs the cyclegan.Config that produced them.
+type ModelSpec struct {
+	// Model is the full architecture + geometry of the checkpointed
+	// surrogate.
+	Model cyclegan.Config `json:"model"`
+	// Step is the training step counter at save time (informational).
+	Step int64 `json:"step"`
+	// Checkpoints lists the weight files this spec describes, in
+	// quality order (best first) when written by ltfbtrain. Relative
+	// entries are resolved against the spec file's directory, so a
+	// checkpoint directory can be moved or mounted elsewhere wholesale.
+	Checkpoints []string `json:"checkpoints"`
+}
+
+// SpecPath returns the conventional sidecar path for a checkpoint.
+func SpecPath(checkpointPath string) string { return checkpointPath + ".spec.json" }
+
+// SaveSpec writes the spec as indented JSON.
+func SaveSpec(path string, spec ModelSpec) error {
+	buf, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: marshal spec: %w", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// LoadSpec reads and validates a spec written by SaveSpec.
+func LoadSpec(path string) (ModelSpec, error) {
+	var spec ModelSpec
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return spec, fmt.Errorf("serve: %w", err)
+	}
+	if err := json.Unmarshal(buf, &spec); err != nil {
+		return spec, fmt.Errorf("serve: parse spec %s: %w", path, err)
+	}
+	if err := spec.Model.Validate(); err != nil {
+		return spec, fmt.Errorf("serve: spec %s: %w", path, err)
+	}
+	for i, p := range spec.Checkpoints {
+		if !filepath.IsAbs(p) {
+			spec.Checkpoints[i] = filepath.Join(filepath.Dir(path), p)
+		}
+	}
+	return spec, nil
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Stats aggregates the serving counters behind one mutex: metrics.Meter
+// is not concurrency-safe and the serving path is all concurrency.
+type Stats struct {
+	mu          sync.Mutex
+	start       time.Time
+	requests    int64
+	overloads   int64
+	cacheHits   int64
+	cacheMisses int64
+	latency     metrics.Meter // milliseconds, enqueue to scatter
+	batchOccup  metrics.Meter // requests per forward pass
+}
+
+// newStats starts the throughput clock.
+func newStats() *Stats { return &Stats{start: time.Now()} }
+
+// request records one completed prediction and its queue-to-reply latency.
+func (s *Stats) request(d time.Duration) {
+	s.mu.Lock()
+	s.requests++
+	s.latency.Add(float64(d) / float64(time.Millisecond))
+	s.mu.Unlock()
+}
+
+// batch records one forward pass of n coalesced requests.
+func (s *Stats) batch(n int) {
+	s.mu.Lock()
+	s.batchOccup.Add(float64(n))
+	s.mu.Unlock()
+}
+
+// overload counts one request rejected by backpressure.
+func (s *Stats) overload() {
+	s.mu.Lock()
+	s.overloads++
+	s.mu.Unlock()
+}
+
+// cacheHit counts one request answered from the LRU cache.
+func (s *Stats) cacheHit() {
+	s.mu.Lock()
+	s.cacheHits++
+	s.mu.Unlock()
+}
+
+// cacheMiss counts one request that had to run the model.
+func (s *Stats) cacheMiss() {
+	s.mu.Lock()
+	s.cacheMisses++
+	s.mu.Unlock()
+}
+
+// StatsSnapshot is a consistent copy of the serving counters, shaped for
+// the /stats JSON endpoint.
+type StatsSnapshot struct {
+	Requests     int64   `json:"requests"`
+	Batches      int     `json:"batches"`
+	Overloads    int64   `json:"overloads"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	MeanBatch    float64 `json:"mean_batch"`
+	MaxBatch     float64 `json:"max_batch"`
+	MeanLatMs    float64 `json:"mean_latency_ms"`
+	MaxLatMs     float64 `json:"max_latency_ms"`
+	ThroughputPS float64 `json:"throughput_per_sec"`
+	UptimeSec    float64 `json:"uptime_sec"`
+}
+
+// snapshot captures the counters at one instant.
+func (s *Stats) snapshot() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up := time.Since(s.start).Seconds()
+	snap := StatsSnapshot{
+		Requests:    s.requests,
+		Batches:     s.batchOccup.Count(),
+		Overloads:   s.overloads,
+		CacheHits:   s.cacheHits,
+		CacheMisses: s.cacheMisses,
+		MeanBatch:   s.batchOccup.Mean(),
+		MaxBatch:    s.batchOccup.Max(),
+		MeanLatMs:   s.latency.Mean(),
+		MaxLatMs:    s.latency.Max(),
+		UptimeSec:   up,
+	}
+	if up > 0 {
+		snap.ThroughputPS = float64(s.requests+s.cacheHits) / up
+	}
+	return snap
+}
