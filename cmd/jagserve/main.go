@@ -6,26 +6,42 @@
 // replicas, optionally ensemble-averaged across the top-k tournament
 // checkpoints.
 //
+// Every request carries a lifecycle: a priority class ("interactive",
+// the default, preempts "bulk" in the batching queue — set it via the
+// "priority" JSON field or the X-Priority header) and an optional
+// deadline ("deadline_ms" field, or the -deadline flag's default).
+// Rows whose deadline passes while still queued are dropped before the
+// forward pass and reported as per-row 504 errors; a batch with some
+// good and some bad rows returns 200 with an aligned "errors" array
+// instead of failing wholesale.
+//
 // Endpoints:
 //
 //	POST /predict  {"input":[5 floats]} or {"inputs":[[...],...]}
-//	               (+ "scalars_only":true to drop image pixels)
-//	GET  /healthz  liveness + pool shape
-//	GET  /stats    latency / batch-occupancy / cache counters
+//	               (+ "scalars_only":true to drop image pixels,
+//	                "priority":"bulk", "deadline_ms":250)
+//	GET  /healthz  liveness + pool shape (503 "closed" after shutdown)
+//	GET  /stats    latency / batch-occupancy / cache / expiry counters
 //
 // Usage:
 //
 //	ltfbtrain -trainers 4 -checkpoint model.ckpt -top 2
 //	jagserve -checkpoint model.ckpt -replicas 4            # throughput: 4 copies
 //	jagserve -checkpoint model.ckpt,model.2.ckpt -ensemble # quality: top-2 average
+//	jagserve -checkpoint model.ckpt -deadline 250ms        # bound queue time
 //	curl -d '{"input":[0.5,0.5,0.5,0.5,0.5],"scalars_only":true}' localhost:8080/predict
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/serve"
@@ -43,6 +59,7 @@ func main() {
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max wait before flushing a partial batch")
 	queueDepth := flag.Int("queue-depth", 0, "max in-flight requests before 503 (0 = 4*max-batch)")
 	cacheSize := flag.Int("cache-size", 1024, "LRU response-cache entries (0 disables)")
+	deadline := flag.Duration("deadline", 0, "default per-request deadline; rows still queued past it are dropped without a forward pass (0 disables; requests override via deadline_ms)")
 	flag.Parse()
 
 	var paths []string
@@ -79,11 +96,33 @@ func main() {
 		QueueDepth: *queueDepth,
 		CacheSize:  *cacheSize,
 	})
-	defer srv.Close()
+
+	handler := serve.NewHandlerConfig(srv, serve.HandlerConfig{DefaultDeadline: *deadline})
+	hs := &http.Server{Addr: *addr, Handler: handler}
+	drained := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down: draining in-flight requests")
+		// Shutdown first: it stops accepting connections immediately
+		// and drains the in-flight HTTP handlers, whose rows still need
+		// the batching queue. Only then close the queue and workers —
+		// closing it first would 503 rows the drain window could have
+		// served (e.g. the later waves of a large throttled batch).
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		srv.Close()
+		close(drained)
+	}()
 
 	log.Printf("serving %d replica(s) of %d checkpoint(s) (ensemble=%v, output dim %d) on %s",
 		pool.Replicas(), len(paths), *ensemble, srv.OutputDim(), *addr)
-	if err := http.ListenAndServe(*addr, serve.NewHandler(srv)); err != nil {
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	// ListenAndServe returns the moment Shutdown is called; wait for the
+	// drain to finish before letting the process exit.
+	<-drained
 }

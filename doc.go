@@ -13,7 +13,12 @@
 // the paper's ingest batching), spreads them over a pool of model
 // replicas with optional ensemble averaging across tournament winners,
 // caches repeated design points in an LRU, and sheds overload via
-// bounded backpressure. cmd/ltfbtrain -checkpoint saves a trained
+// bounded backpressure. Requests have a context-aware lifecycle:
+// PredictContext carries a per-call deadline, an interactive lane
+// preempts bulk scans in the batching queue, rows whose caller already
+// gave up are dropped before the forward pass, and /predict reports
+// per-row errors so one bad row cannot fail a batch. cmd/ltfbtrain
+// -checkpoint saves a trained
 // population's best models; cmd/jagserve serves them over HTTP JSON
 // (/predict, /healthz, /stats); examples/serving walks the whole
 // train → checkpoint → serve → query path in one process.

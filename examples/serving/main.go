@@ -1,8 +1,10 @@
 // Serving quickstart: the full path from training to answering
 // prediction requests — train a tiny surrogate, checkpoint it, load it
 // into the micro-batching server, and hit it with a burst of
-// concurrent clients. This is the workflow cmd/ltfbtrain + cmd/jagserve
-// run across two processes, condensed into one.
+// concurrent clients carrying deadlines, while a bulk parameter scan
+// soaks up leftover capacity in the low-priority lane. This is the
+// workflow cmd/ltfbtrain + cmd/jagserve run across two processes,
+// condensed into one.
 //
 // Run with:
 //
@@ -10,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -76,11 +80,28 @@ func main() {
 	})
 	defer srv.Close()
 
-	// 4. Query it from 64 concurrent clients, like simultaneous users
-	// exploring the design space. Repeated design points hit the LRU
-	// cache instead of the model.
+	// 4. Query it from 64 concurrent interactive clients, like
+	// simultaneous users exploring the design space. Each call carries
+	// a deadline through PredictContext: a row still queued when its
+	// context expires is dropped before the forward pass and the caller
+	// sees serve.ErrExpired instead of a late answer. Repeated design
+	// points hit the LRU cache instead of the model. Meanwhile one bulk
+	// scan sweeps the first input axis in the low-priority lane, which
+	// the batcher drains only after the interactive lane is empty.
 	const clients, perClient = 64, 8
+	var expired int64
+	var mu sync.Mutex
 	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 64; i++ {
+			x := []float32{float32(i) / 64, 0.5, 0.5, 0.5, 0.5}
+			if _, err := srv.PredictPriority(context.Background(), x, serve.Bulk); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -91,7 +112,16 @@ func main() {
 					float32(i) / perClient,
 					0.5, 0.25, 0.75,
 				}
-				if _, err := srv.Predict(x); err != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+				_, err := srv.PredictContext(ctx, x)
+				cancel()
+				if errors.Is(err, serve.ErrExpired) {
+					mu.Lock()
+					expired++
+					mu.Unlock()
+					continue
+				}
+				if err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -101,9 +131,9 @@ func main() {
 
 	snap := srv.Stats()
 	tab := metrics.NewTable("serving a checkpointed surrogate",
-		"requests", "batches", "mean_batch", "cache_hits", "mean_latency_ms")
-	tab.AddRow(snap.Requests, snap.Batches, snap.MeanBatch, snap.CacheHits, snap.MeanLatMs)
+		"requests", "batches", "mean_batch", "cache_hits", "expired", "mean_latency_ms")
+	tab.AddRow(snap.Requests, snap.Batches, snap.MeanBatch, snap.CacheHits, snap.Expired, snap.MeanLatMs)
 	fmt.Print(tab.Render())
-	fmt.Printf("throughput: %.0f predictions/sec (replicas=%d)\n",
-		snap.ThroughputPS, pool.Replicas())
+	fmt.Printf("throughput: %.0f predictions/sec (replicas=%d, %d interactive calls gave up)\n",
+		snap.ThroughputPS, pool.Replicas(), expired)
 }

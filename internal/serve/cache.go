@@ -19,6 +19,12 @@ func quantKey(x []float32, q float64) string {
 	buf := make([]byte, 4*len(x))
 	for i, v := range x {
 		cell := float32(math.Round(float64(v)/q) * q)
+		if cell == 0 {
+			// math.Round of a small negative yields -0, whose float32
+			// bit pattern differs from +0: without this, identical grid
+			// cells straddling zero would never share a cache entry.
+			cell = 0
+		}
 		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(cell))
 	}
 	return string(buf)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 )
@@ -65,6 +66,22 @@ func TestQuantKey(t *testing.T) {
 	big2 := []float32{2e30, 0.1, 0.9, 0.3, 0.7}
 	if quantKey(big1, 1e-6) == quantKey(big2, 1e-6) {
 		t.Fatal("huge distinct inputs collided")
+	}
+}
+
+// TestQuantKeyNegativeZero is a regression test for -0/+0 cell
+// splitting: math.Round of a small negative yields -0, whose float32
+// bit pattern differs from +0, so identical grid cells straddling zero
+// used to map to different keys and never share a cache entry.
+func TestQuantKeyNegativeZero(t *testing.T) {
+	neg := []float32{-1e-9, 0.1, 0.9, 0.3, 0.7}
+	pos := []float32{1e-9, 0.1, 0.9, 0.3, 0.7}
+	if quantKey(neg, 1e-3) != quantKey(pos, 1e-3) {
+		t.Fatal("cells straddling zero got different keys")
+	}
+	nz := []float32{float32(math.Copysign(0, -1)), 0, 0, 0, 0}
+	if quantKey(nz, 1e-6) != quantKey(make([]float32, 5), 1e-6) {
+		t.Fatal("-0 and +0 inputs got different keys")
 	}
 }
 

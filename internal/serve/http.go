@@ -1,14 +1,23 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/jag"
 )
+
+// statusClientClosedRequest is the nginx convention for "the client
+// went away before we answered" — the HTTP face of ErrCancelled.
+const statusClientClosedRequest = 499
+
+// PriorityHeader is the request header consulted for the queue lane
+// when the JSON body carries no "priority" field.
+const PriorityHeader = "X-Priority"
 
 // PredictRequest is the /predict JSON body: either one input or a list.
 type PredictRequest struct {
@@ -21,12 +30,31 @@ type PredictRequest struct {
 	// ScalarsOnly trims each output row to the 15 scalar observables,
 	// dropping the X-ray image pixels (which dominate the payload).
 	ScalarsOnly bool `json:"scalars_only,omitempty"`
+	// Priority selects the queue lane: "interactive" (default) or
+	// "bulk". The X-Priority header is the fallback when this is empty.
+	Priority string `json:"priority,omitempty"`
+	// DeadlineMs bounds this request's time in the pipeline; rows still
+	// queued when it passes are dropped without a forward pass and
+	// reported as status-504 row errors. 0 uses the handler's default.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+}
+
+// RowError reports one failed row of a /predict batch.
+type RowError struct {
+	// Status is the HTTP status the row would have had on its own.
+	Status int `json:"status"`
+	// Error is the row's error message.
+	Error string `json:"error"`
 }
 
 // PredictResponse is the /predict JSON reply, rows aligned with the
-// request inputs.
+// request inputs. When every row succeeds Errors is omitted; otherwise
+// Errors has one entry per input (null for rows that succeeded) and the
+// failed rows' Outputs entries are null — one poisoned row no longer
+// discards its siblings' completed work.
 type PredictResponse struct {
 	Outputs [][]float32 `json:"outputs"`
+	Errors  []*RowError `json:"errors,omitempty"`
 }
 
 // healthResponse is the /healthz JSON reply.
@@ -37,10 +65,20 @@ type healthResponse struct {
 	OutputDim int    `json:"output_dim"`
 }
 
-// NewHandler exposes a Server over HTTP JSON: POST /predict, GET
-// /healthz, GET /stats. cmd/jagserve mounts exactly this handler; tests
-// drive it through httptest.
-func NewHandler(s *Server) http.Handler {
+// HandlerConfig tunes NewHandlerConfig.
+type HandlerConfig struct {
+	// DefaultDeadline is applied to /predict requests that don't carry
+	// their own deadline_ms; 0 leaves them unbounded.
+	DefaultDeadline time.Duration
+}
+
+// NewHandler exposes a Server over HTTP JSON with default handler
+// options: POST /predict, GET /healthz, GET /stats. cmd/jagserve mounts
+// exactly this handler; tests drive it through httptest.
+func NewHandler(s *Server) http.Handler { return NewHandlerConfig(s, HandlerConfig{}) }
+
+// NewHandlerConfig is NewHandler with explicit options.
+func NewHandlerConfig(s *Server, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -52,6 +90,15 @@ func NewHandler(s *Server) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
 			return
 		}
+		priority := req.Priority
+		if priority == "" {
+			priority = r.Header.Get(PriorityHeader)
+		}
+		class, err := ParsePriority(priority)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 		inputs := req.Inputs
 		if req.Input != nil {
 			inputs = append([][]float32{req.Input}, inputs...)
@@ -59,6 +106,19 @@ func NewHandler(s *Server) http.Handler {
 		if len(inputs) == 0 {
 			httpError(w, http.StatusBadRequest, "no inputs")
 			return
+		}
+		// The rows live and die with the HTTP request: a disconnecting
+		// client or an elapsed deadline turns still-queued rows stale,
+		// and the batcher drops them before the forward pass.
+		ctx := r.Context()
+		deadline := hc.DefaultDeadline
+		if req.DeadlineMs > 0 {
+			deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+		}
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
 		}
 		outputs := make([][]float32, len(inputs))
 		errs := make([]error, len(inputs))
@@ -78,26 +138,12 @@ func NewHandler(s *Server) http.Handler {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				outputs[i], errs[i] = s.Predict(inputs[i])
+				outputs[i], errs[i] = s.PredictPriority(ctx, inputs[i], class)
 				<-sem
 			}(i)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				status := http.StatusInternalServerError
-				switch {
-				case errors.Is(err, ErrOverloaded):
-					status = http.StatusServiceUnavailable
-				case errors.Is(err, ErrClosed):
-					status = http.StatusServiceUnavailable
-				default:
-					status = http.StatusBadRequest
-				}
-				httpError(w, status, err.Error())
-				return
-			}
-		}
+		rowErrs, failed := collectRowErrors(errs)
 		if req.ScalarsOnly {
 			for i, row := range outputs {
 				if len(row) > jag.ScalarDim {
@@ -105,11 +151,25 @@ func NewHandler(s *Server) http.Handler {
 				}
 			}
 		}
-		writeJSON(w, PredictResponse{Outputs: outputs})
+		resp := PredictResponse{Outputs: outputs}
+		if failed > 0 {
+			resp.Errors = rowErrs
+		}
+		if failed == len(inputs) {
+			// Nothing succeeded: surface the severest row status at the
+			// top level (the body still carries the per-row detail).
+			writeJSONStatus(w, batchStatus(rowErrs), resp)
+			return
+		}
+		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, healthResponse{
-			Status:    "ok",
+		status, code := "ok", http.StatusOK
+		if s.Closed() {
+			status, code = "closed", http.StatusServiceUnavailable
+		}
+		writeJSONStatus(w, code, healthResponse{
+			Status:    status,
 			Replicas:  s.Pool().Replicas(),
 			Ensemble:  s.Pool().Ensemble(),
 			OutputDim: s.OutputDim(),
@@ -121,17 +181,80 @@ func NewHandler(s *Server) http.Handler {
 	return mux
 }
 
-// writeJSON renders v as a JSON response body.
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+// collectRowErrors maps per-row Predict errors onto aligned RowError
+// entries and counts the failures.
+func collectRowErrors(errs []error) (rowErrs []*RowError, failed int) {
+	rowErrs = make([]*RowError, len(errs))
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		rowErrs[i] = &RowError{Status: rowStatus(err), Error: err.Error()}
+		failed++
 	}
+	return rowErrs, failed
+}
+
+// rowStatus maps one row's Predict error to its HTTP status.
+func rowStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrExpired):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrCancelled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// severity ranks row statuses for the all-rows-failed top-level status:
+// 503 (capacity / shutdown — retry elsewhere) > 504 (deadline) > 499
+// (client gone) > 400 (caller bug). The ordering is a fixed property of
+// the status, never of slice iteration order, so the top-level status
+// of a mixed-failure batch is deterministic.
+func severity(status int) int {
+	switch status {
+	case http.StatusServiceUnavailable:
+		return 4
+	case http.StatusGatewayTimeout:
+		return 3
+	case statusClientClosedRequest:
+		return 2
+	case http.StatusBadRequest:
+		return 1
+	}
+	return 0
+}
+
+// batchStatus returns the severest status among the row errors.
+func batchStatus(rowErrs []*RowError) int {
+	worst := http.StatusInternalServerError // only if no row carries an error
+	rank := -1
+	for _, re := range rowErrs {
+		if re != nil && severity(re.Status) > rank {
+			worst, rank = re.Status, severity(re.Status)
+		}
+	}
+	return worst
+}
+
+// writeJSON renders v as a JSON response body with status 200.
+func writeJSON(w http.ResponseWriter, v any) { writeJSONStatus(w, http.StatusOK, v) }
+
+// writeJSONStatus renders v as a JSON body with an explicit status.
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The status line is already out; an encode error can only be
+	// logged by the caller's middleware, not reported.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // httpError renders a JSON error body with the given status.
 func httpError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+	writeJSONStatus(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/cyclegan"
 	"repro/internal/jag"
@@ -42,6 +43,10 @@ func postPredict(t *testing.T, ts *httptest.Server, req PredictRequest) (Predict
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			t.Fatal(err)
 		}
+	} else {
+		// Failed batches still carry the per-row detail; error bodies
+		// without it ({"error":...}) decode to the zero response.
+		_ = json.NewDecoder(resp.Body).Decode(&out)
 	}
 	return out, resp.StatusCode
 }
@@ -141,6 +146,167 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	if _, code := postPredict(t, ts, PredictRequest{Input: []float32{1}}); code != http.StatusBadRequest {
 		t.Fatalf("short input status %d", code)
+	}
+}
+
+// TestHTTPPartialRowErrors posts a batch with one poisoned row: the
+// reply must be 200 with the valid rows' outputs and an aligned per-row
+// error entry, instead of discarding the siblings' completed work.
+func TestHTTPPartialRowErrors(t *testing.T) {
+	ts := newTestHTTP(t)
+	out, code := postPredict(t, ts, PredictRequest{
+		Inputs: [][]float32{testInput(0), {1, 2}, testInput(1)},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200 for a mixed batch", code)
+	}
+	if len(out.Outputs) != 3 || len(out.Errors) != 3 {
+		t.Fatalf("outputs/errors = %d/%d entries, want 3/3", len(out.Outputs), len(out.Errors))
+	}
+	if out.Outputs[0] == nil || out.Outputs[2] == nil || out.Outputs[1] != nil {
+		t.Fatalf("outputs not aligned: row1 should be the only null")
+	}
+	if out.Errors[0] != nil || out.Errors[2] != nil {
+		t.Fatalf("errors not aligned: %+v", out.Errors)
+	}
+	if out.Errors[1] == nil || out.Errors[1].Status != http.StatusBadRequest {
+		t.Fatalf("row 1 error = %+v, want status 400", out.Errors[1])
+	}
+}
+
+// TestHTTPAllRowsFailed checks that a batch with no surviving rows
+// reports the severest row status at the top level, with the per-row
+// detail still in the body.
+func TestHTTPAllRowsFailed(t *testing.T) {
+	ts := newTestHTTP(t)
+	out, code := postPredict(t, ts, PredictRequest{
+		Inputs: [][]float32{{1}, {2, 3}},
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 when every row is invalid", code)
+	}
+	if len(out.Errors) != 2 || out.Errors[0] == nil || out.Errors[1] == nil {
+		t.Fatalf("per-row errors missing from failed batch: %+v", out.Errors)
+	}
+}
+
+// TestHTTPDeadlineExpired posts a request whose deadline is far shorter
+// than the server's flush delay: the row expires in the queue, is
+// dropped before a forward pass, and surfaces as 504 with the expiry
+// visible in /stats.
+func TestHTTPDeadlineExpired(t *testing.T) {
+	model := cyclegan.New(testModelCfg(), 42)
+	pool, err := NewPool([]*cyclegan.Surrogate{model}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(pool, Config{MaxBatch: 64, MaxDelay: 300 * time.Millisecond})
+	ts := httptest.NewServer(NewHandler(s))
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	out, code := postPredict(t, ts, PredictRequest{Input: testInput(0), DeadlineMs: 10})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 for an expired deadline", code)
+	}
+	if len(out.Errors) != 1 || out.Errors[0] == nil || out.Errors[0].Status != http.StatusGatewayTimeout {
+		t.Fatalf("row error = %+v, want status 504", out.Errors)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := s.Stats()
+		if snap.Expired == 1 {
+			if snap.Requests != 0 {
+				t.Fatalf("expired row still ran a forward pass: %+v", snap)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expiry never reached stats: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestHTTPPriority covers lane selection via body field and header, and
+// rejection of unknown classes.
+func TestHTTPPriority(t *testing.T) {
+	ts := newTestHTTP(t)
+	if _, code := postPredict(t, ts, PredictRequest{Input: testInput(0), Priority: "bulk"}); code != http.StatusOK {
+		t.Fatalf("bulk priority status %d", code)
+	}
+	if _, code := postPredict(t, ts, PredictRequest{Input: testInput(0), Priority: "urgent"}); code != http.StatusBadRequest {
+		t.Fatalf("unknown priority status %d, want 400", code)
+	}
+
+	body, _ := json.Marshal(PredictRequest{Input: testInput(0)})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/predict", bytes.NewReader(body))
+	req.Header.Set(PriorityHeader, "bulk")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("header priority status %d", resp.StatusCode)
+	}
+}
+
+// TestBatchStatusDeterministic pins the severity ordering of the
+// all-rows-failed top-level status: 503 > 504 > 499 > 400, independent
+// of row order.
+func TestBatchStatusDeterministic(t *testing.T) {
+	re := func(st int) *RowError { return &RowError{Status: st} }
+	cases := []struct {
+		rows []*RowError
+		want int
+	}{
+		{[]*RowError{re(400), re(503)}, 503},
+		{[]*RowError{re(503), re(400)}, 503},
+		{[]*RowError{re(504), re(503), re(400)}, 503},
+		{[]*RowError{re(400), re(504)}, 504},
+		{[]*RowError{re(504), re(499), nil}, 504},
+		{[]*RowError{re(499), re(400)}, 499},
+		{[]*RowError{re(400), re(400)}, 400},
+	}
+	for i, c := range cases {
+		if got := batchStatus(c.rows); got != c.want {
+			t.Errorf("case %d: batchStatus = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// TestHTTPHealthzClosed checks that /healthz flips to 503/"closed" once
+// the server is shut down, so load balancers stop routing to it.
+func TestHTTPHealthzClosed(t *testing.T) {
+	model := cyclegan.New(testModelCfg(), 42)
+	pool, err := NewPool([]*cyclegan.Surrogate{model}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(pool, Config{})
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+	s.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed /healthz status %d, want 503", resp.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "closed" {
+		t.Fatalf("closed /healthz status = %q, want \"closed\"", health.Status)
 	}
 }
 

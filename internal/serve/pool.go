@@ -109,7 +109,11 @@ func (p *Pool) Run(x *tensor.Matrix) *tensor.Matrix {
 	}
 	wg.Wait()
 
-	sum := outs[0]
+	// Average into a fresh matrix: outs[0] aliases replica 0's cached
+	// final-layer activation (nn.Sigmoid keeps the matrix it returns for
+	// the backward pass), so summing in place would corrupt a model that
+	// is later trained or evaluated.
+	sum := outs[0].Clone()
 	for _, o := range outs[1:] {
 		tensor.Add(sum, sum, o)
 	}

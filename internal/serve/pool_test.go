@@ -71,6 +71,40 @@ func TestPoolEnsembleAverages(t *testing.T) {
 	}
 }
 
+// TestPoolEnsembleLeavesReplicasIntact is a regression test for the
+// in-place ensemble average: the first replica's prediction matrix is
+// also its decoder's cached final-layer activation (nn.Sigmoid keeps
+// the matrix it returns for the backward pass), so averaging into it
+// corrupted any later training or evaluation of that replica. A
+// backward pass through replica 0's decoder must match a bitwise twin
+// that never served an ensemble batch.
+func TestPoolEnsembleLeavesReplicasIntact(t *testing.T) {
+	cfg := testModelCfg()
+	a := cyclegan.New(cfg, 1)
+	b := cyclegan.New(cfg, 2)
+	twin := cyclegan.New(cfg, 1) // bitwise-identical to a
+	pool, err := NewPool([]*cyclegan.Surrogate{a, b}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := testBatch(4)
+	pool.Run(x)
+	// Prime the twin's cached activations with the same forward pass
+	// replica a ran inside the ensemble.
+	twin.Predict(x)
+
+	dy := tensor.New(4, cfg.Geometry.OutputDim())
+	for i := range dy.Data {
+		dy.Data[i] = 1
+	}
+	ga := a.Decoder.Backward(dy)
+	gt := twin.Decoder.Backward(dy)
+	if !ga.Equal(gt) {
+		t.Fatal("ensemble Run corrupted replica 0's cached activations")
+	}
+}
+
 // TestPoolEnsembleFromCheckpoints loads two distinct checkpoints and
 // checks the ensemble differs from either member (i.e. both contribute).
 func TestPoolEnsembleFromCheckpoints(t *testing.T) {

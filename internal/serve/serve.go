@@ -12,6 +12,16 @@
 // MaxBatch requests or when the oldest queued request has waited
 // MaxDelay, whichever comes first.
 //
+// Every request has a lifecycle: it carries a context.Context and a
+// Priority class. The queue keeps one lane per class and the batcher
+// drains Interactive strictly before Bulk, so design-space exploration
+// preempts background scans. At flush time rows whose context is
+// already cancelled or past its deadline are discarded before the
+// forward pass — a caller that gave up never costs model time — and
+// show up in the stats as expired/cancelled. The same Section II-C
+// lesson again: per-task overhead spent on work nobody is waiting for
+// is pure waste.
+//
 // Around the queue sit:
 //
 //   - a replica pool (pool.go) that round-robins batches across N model
@@ -26,16 +36,19 @@
 //     QueueDepth and excess callers fail fast with ErrOverloaded
 //     instead of queueing without bound;
 //   - instrumentation (stats.go) built on metrics.Meter: request
-//     latency, batch occupancy, throughput, cache hit/miss and
-//     overload counters, exposed as a JSON-friendly snapshot.
+//     latency, batch occupancy, throughput, cache hit/miss, overload
+//     and expired/cancelled counters, exposed as a JSON-friendly
+//     snapshot.
 //
 // http.go adds the JSON transport used by cmd/jagserve.
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,14 +57,60 @@ import (
 	"repro/internal/tensor"
 )
 
-// Errors returned by Predict.
+// Errors returned by the Predict family.
 var (
 	// ErrOverloaded is returned when QueueDepth requests are already in
 	// flight; callers should back off and retry (HTTP 503).
 	ErrOverloaded = errors.New("serve: overloaded, queue full")
 	// ErrClosed is returned once the server has been shut down.
 	ErrClosed = errors.New("serve: server closed")
+	// ErrExpired is returned when the request context's deadline passed
+	// before the prediction completed; the row is dropped before the
+	// forward pass if it is still queued (HTTP 504).
+	ErrExpired = errors.New("serve: request deadline expired")
+	// ErrCancelled is returned when the request context was cancelled;
+	// like ErrExpired, a still-queued row never reaches the model.
+	ErrCancelled = errors.New("serve: request cancelled")
 )
+
+// Priority is a request's queue lane. The batcher drains Interactive
+// strictly before Bulk, so latency-sensitive callers preempt background
+// scans without a separate server.
+type Priority int
+
+const (
+	// Interactive is the default class: a human (or latency-sensitive
+	// system) is waiting on the answer.
+	Interactive Priority = iota
+	// Bulk is for background work — dataset generation, parameter
+	// sweeps — that should soak up leftover capacity only.
+	Bulk
+
+	numLanes
+)
+
+// String returns the wire name of the class.
+func (p Priority) String() string {
+	switch p {
+	case Interactive:
+		return "interactive"
+	case Bulk:
+		return "bulk"
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// ParsePriority maps a wire name to a Priority. The empty string is
+// Interactive, matching the zero value.
+func ParsePriority(s string) (Priority, error) {
+	switch strings.ToLower(s) {
+	case "", "interactive":
+		return Interactive, nil
+	case "bulk":
+		return Bulk, nil
+	}
+	return 0, fmt.Errorf("serve: unknown priority %q (want interactive or bulk)", s)
+}
 
 // Config tunes the serving pipeline around a loaded Pool.
 type Config struct {
@@ -62,8 +121,9 @@ type Config struct {
 	// partial batch is flushed (default 2ms). Latency floor vs batch
 	// occupancy is the serving trade-off this knob sets.
 	MaxDelay time.Duration
-	// QueueDepth bounds the number of in-flight requests; further
-	// Predict calls fail with ErrOverloaded (default 4*MaxBatch).
+	// QueueDepth bounds the number of in-flight requests across both
+	// priority lanes; further Predict calls fail with ErrOverloaded
+	// (default 4*MaxBatch).
 	QueueDepth int
 	// CacheSize is the LRU response-cache capacity in entries; 0
 	// disables caching.
@@ -99,11 +159,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// request is one queued prediction with its reply channel.
+// result is what the pipeline hands back to a waiting caller.
+type result struct {
+	y   []float32
+	err error
+}
+
+// request is one queued prediction with its lifecycle and reply channel.
 type request struct {
+	ctx      context.Context
 	x        []float32
+	class    Priority
 	enqueued time.Time
-	resp     chan []float32
+	resp     chan result // buffered(1): the pipeline never blocks on an abandoned caller
 }
 
 // Server owns the micro-batching queue in front of a replica pool.
@@ -113,7 +181,7 @@ type Server struct {
 	cache *lru
 	stats *Stats
 
-	queue    chan *request
+	lanes    [numLanes]chan *request
 	batches  chan []*request
 	inflight atomic.Int64
 
@@ -130,8 +198,12 @@ func NewServer(pool *Pool, cfg Config) *Server {
 		cfg:     cfg,
 		pool:    pool,
 		stats:   newStats(),
-		queue:   make(chan *request, cfg.QueueDepth),
 		batches: make(chan []*request, pool.Replicas()),
+	}
+	for l := range s.lanes {
+		// Each lane holds QueueDepth so a send never blocks even if
+		// every in-flight request lands in one lane.
+		s.lanes[l] = make(chan *request, cfg.QueueDepth)
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRU(cfg.CacheSize)
@@ -153,13 +225,37 @@ func (s *Server) Pool() *Pool { return s.pool }
 // OutputDim returns the width of prediction vectors.
 func (s *Server) OutputDim() int { return s.pool.OutputDim() }
 
-// Predict returns the surrogate's output bundle for one 5-D input. It
-// blocks until the batched forward pass completes, fails fast with
-// ErrOverloaded under backpressure, and serves repeated inputs from the
-// LRU cache when one is configured. The returned slice is the
-// caller's on a miss; on a cache hit it is the shared cached row and
-// must not be mutated.
+// Closed reports whether Close has been called.
+func (s *Server) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// Predict returns the surrogate's output bundle for one 5-D input at
+// Interactive priority with no deadline. See PredictContext.
 func (s *Server) Predict(x []float32) ([]float32, error) {
+	return s.PredictContext(context.Background(), x)
+}
+
+// PredictContext is Predict with a caller-controlled lifecycle: if ctx
+// is cancelled or its deadline passes while the request is queued, the
+// call returns ErrCancelled/ErrExpired and the stale row is discarded
+// at flush time without costing a forward pass.
+func (s *Server) PredictContext(ctx context.Context, x []float32) ([]float32, error) {
+	return s.PredictPriority(ctx, x, Interactive)
+}
+
+// PredictPriority is PredictContext with an explicit queue lane. It
+// blocks until the batched forward pass completes or ctx ends, fails
+// fast with ErrOverloaded under backpressure, and serves repeated
+// inputs from the LRU cache when one is configured. The returned slice
+// is the caller's on a miss; on a cache hit it is the shared cached row
+// and must not be mutated.
+func (s *Server) PredictPriority(ctx context.Context, x []float32, class Priority) ([]float32, error) {
+	if class < 0 || class >= numLanes {
+		return nil, fmt.Errorf("serve: unknown priority %d", class)
+	}
 	if len(x) != jag.InputDim {
 		return nil, fmt.Errorf("serve: input dim %d, want %d", len(x), jag.InputDim)
 	}
@@ -167,6 +263,11 @@ func (s *Server) Predict(x []float32) ([]float32, error) {
 		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
 			return nil, fmt.Errorf("serve: non-finite input %v", v)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: reject at admission, same accounting as a
+		// flush-time drop — the row never reaches the model.
+		return nil, s.dropStale(err)
 	}
 	var key string
 	if s.cache != nil {
@@ -182,7 +283,7 @@ func (s *Server) Predict(x []float32) ([]float32, error) {
 		s.stats.overload()
 		return nil, ErrOverloaded
 	}
-	req := &request{x: x, enqueued: time.Now(), resp: make(chan []float32, 1)}
+	req := &request{ctx: ctx, x: x, class: class, enqueued: time.Now(), resp: make(chan result, 1)}
 
 	s.mu.RLock()
 	if s.closed {
@@ -190,73 +291,219 @@ func (s *Server) Predict(x []float32) ([]float32, error) {
 		s.inflight.Add(-1)
 		return nil, ErrClosed
 	}
-	s.queue <- req // cannot block: inflight <= QueueDepth == cap(queue)
+	s.lanes[class] <- req // cannot block: inflight <= QueueDepth == cap(lane)
 	s.mu.RUnlock()
-	if s.cache != nil {
-		// Counted only once the request is admitted, so overload
-		// rejections don't inflate the miss rate.
-		s.stats.cacheMiss()
-	}
 
-	y := <-req.resp
-	s.inflight.Add(-1)
-	if y == nil {
-		return nil, ErrClosed
+	// Once admitted, the pipeline owns the request: the worker replies
+	// on the buffered channel and releases the inflight slot whether or
+	// not the caller is still listening.
+	select {
+	case res := <-req.resp:
+		return s.finish(key, res)
+	case <-ctx.Done():
+		// The reply may have raced in just as the context ended (both
+		// select cases ready picks randomly): prefer delivering
+		// completed work over reporting expiry.
+		select {
+		case res := <-req.resp:
+			return s.finish(key, res)
+		default:
+		}
+		// The queued row is now stale; the worker discards it at flush
+		// time (and does the expired/cancelled accounting there).
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, ErrExpired
+		}
+		return nil, ErrCancelled
+	}
+}
+
+// finish unwraps a pipeline reply for its caller, caching successful
+// rows under key.
+func (s *Server) finish(key string, res result) ([]float32, error) {
+	if res.err != nil {
+		return nil, res.err
 	}
 	if s.cache != nil {
-		// Cache a copy: y is a view into the whole batch output matrix,
-		// and caching the view would pin MaxBatch rows per entry.
-		s.cache.put(key, append([]float32(nil), y...))
+		// Counted only when the model actually answered, so neither
+		// overload rejections nor rows dropped as stale inflate the
+		// miss rate. Cache its own copy so neither the caller nor a
+		// later cache hit can mutate the other's row.
+		s.stats.cacheMiss()
+		s.cache.put(key, append([]float32(nil), res.y...))
 	}
-	return y, nil
+	return res.y, nil
+}
+
+// dropStale counts one context-dead request and maps its context error
+// to the serve error vocabulary.
+func (s *Server) dropStale(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.stats.expire()
+		return ErrExpired
+	}
+	s.stats.cancel()
+	return ErrCancelled
+}
+
+// recvState is the outcome of one lane receive.
+type recvState int
+
+const (
+	recvReq     recvState = iota // got a request
+	recvTimeout                  // the flush timer fired
+	recvClosed                   // both lanes closed and drained
+)
+
+// recv returns the next queued request, draining the interactive lane
+// strictly before the bulk lane. A lane that turns out closed is nilled
+// out in place; once both are nil recv reports recvClosed. timeout may
+// be nil to block until a request arrives or the lanes close.
+func recv(qi, qb *chan *request, timeout <-chan time.Time) (*request, recvState) {
+	for {
+		// Strict priority: take an already-waiting interactive request
+		// before even looking at the bulk lane.
+		if *qi != nil {
+			select {
+			case r, ok := <-*qi:
+				if !ok {
+					*qi = nil
+					continue
+				}
+				return r, recvReq
+			default:
+			}
+		}
+		if *qi == nil && *qb == nil {
+			return nil, recvClosed
+		}
+		// Receives from a nil channel block forever, so closed-out
+		// lanes simply drop out of the select.
+		select {
+		case r, ok := <-*qi:
+			if !ok {
+				*qi = nil
+				continue
+			}
+			return r, recvReq
+		case r, ok := <-*qb:
+			if !ok {
+				*qb = nil
+				continue
+			}
+			return r, recvReq
+		case <-timeout:
+			return nil, recvTimeout
+		}
+	}
 }
 
 // batchLoop coalesces queued requests into batches: flush at MaxBatch
 // occupancy or MaxDelay after the first request of the batch arrived.
+// The interactive lane is drained before the bulk lane at every pull,
+// so a bulk backlog can delay interactive work by at most one batch.
+// Between batches the front of the bulk lane is reaped of context-dead
+// rows — otherwise sustained interactive traffic could starve the bulk
+// lane and expired bulk rows would pin QueueDepth slots forever,
+// converting capacity into spurious ErrOverloaded. An alive row pulled
+// by the reap leads the next batch, so the bulk lane always advances.
 func (s *Server) batchLoop() {
 	defer s.wg.Done()
 	defer close(s.batches)
+	qi, qb := s.lanes[Interactive], s.lanes[Bulk]
 	// Go 1.23+ timer semantics: Stop/Reset discard any pending fire, so
 	// no manual channel draining is needed between batches.
 	timer := time.NewTimer(time.Hour)
 	timer.Stop()
+	var carry *request // alive bulk row pulled by the last reap
 	for {
-		first, ok := <-s.queue
-		if !ok {
-			return
+		first := carry
+		carry = nil
+		if first == nil {
+			var st recvState
+			first, st = recv(&qi, &qb, nil)
+			if st == recvClosed {
+				return
+			}
 		}
 		pending := make([]*request, 1, s.cfg.MaxBatch)
 		pending[0] = first
 		timer.Reset(s.cfg.MaxDelay)
-		closed := false
 	collect:
 		for len(pending) < s.cfg.MaxBatch {
-			select {
-			case r, ok := <-s.queue:
-				if !ok {
-					closed = true
-					break collect
-				}
-				pending = append(pending, r)
-			case <-timer.C:
+			r, st := recv(&qi, &qb, timer.C)
+			if st != recvReq {
 				break collect
 			}
+			pending = append(pending, r)
 		}
 		timer.Stop()
 		s.batches <- pending
-		if closed {
+		carry = s.reapBulk(&qb)
+		if carry == nil && qi == nil && qb == nil {
 			return
 		}
 	}
 }
 
-// workerLoop assembles each batch into one matrix, runs it through the
-// pool, and scatters the rows back to the waiting callers.
+// reapBulk drains context-dead rows from the front of the bulk lane so
+// they cannot hold inflight slots while strict priority starves the
+// lane. The first alive row it meets is pushed back (the lane rotates
+// by one, which the best-effort bulk class tolerates) so it cannot jump
+// ahead of waiting interactive work. Only when the server is closed —
+// the lane can no longer accept sends — is the alive row returned for
+// the caller to serve in the next batch. Returns nil otherwise.
+func (s *Server) reapBulk(qb *chan *request) *request {
+	for *qb != nil {
+		select {
+		case r, ok := <-*qb:
+			if !ok {
+				*qb = nil
+				return nil
+			}
+			if err := r.ctx.Err(); err != nil {
+				r.resp <- result{err: s.dropStale(err)}
+				s.inflight.Add(-1)
+				continue
+			}
+			s.mu.RLock()
+			if !s.closed {
+				// Cannot block: r still holds an inflight slot, so the
+				// lane has at least one free buffer entry.
+				*qb <- r
+				s.mu.RUnlock()
+				return nil
+			}
+			s.mu.RUnlock()
+			return r
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// workerLoop discards stale rows, assembles the live remainder into one
+// matrix, runs it through the pool, and scatters the rows back to the
+// waiting callers. A batch whose rows all went stale skips the forward
+// pass entirely.
 func (s *Server) workerLoop() {
 	defer s.wg.Done()
 	for reqs := range s.batches {
-		x := tensor.New(len(reqs), jag.InputDim)
-		for i, r := range reqs {
+		live := reqs[:0]
+		for _, r := range reqs {
+			if err := r.ctx.Err(); err != nil {
+				r.resp <- result{err: s.dropStale(err)}
+				s.inflight.Add(-1)
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		x := tensor.New(len(live), jag.InputDim)
+		for i, r := range live {
 			copy(x.Row(i), r.x)
 		}
 		if s.cfg.PassOverhead > 0 {
@@ -267,16 +514,17 @@ func (s *Server) workerLoop() {
 		}
 		y := s.pool.Run(x)
 		now := time.Now()
-		for i, r := range reqs {
+		for i, r := range live {
 			// Copy the row out of the batch matrix: a view would pin
 			// all MaxBatch rows for as long as any caller retains its
 			// result.
 			out := make([]float32, y.Cols)
 			copy(out, y.Row(i))
 			s.stats.request(now.Sub(r.enqueued))
-			r.resp <- out
+			r.resp <- result{y: out}
+			s.inflight.Add(-1)
 		}
-		s.stats.batch(len(reqs))
+		s.stats.batch(len(live))
 	}
 }
 
@@ -284,8 +532,8 @@ func (s *Server) workerLoop() {
 func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot() }
 
 // Close drains the pipeline and releases the batcher and workers.
-// In-flight requests complete; concurrent and later Predict calls
-// return ErrClosed.
+// In-flight requests complete (stale ones are still dropped at flush);
+// concurrent and later Predict calls return ErrClosed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -293,7 +541,9 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	close(s.queue)
+	for _, q := range s.lanes {
+		close(q)
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -290,6 +291,292 @@ func TestPredictAfterClose(t *testing.T) {
 	s.Close() // idempotent
 	if _, err := s.Predict(testInput(0)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Predict after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestExpiredRowDroppedAtFlush parks one request behind a long flush
+// deadline with a context that expires first: the caller must get
+// ErrExpired, and the stale row must be discarded at flush time without
+// a forward pass — visible as expired=1 with zero requests and batches.
+func TestExpiredRowDroppedAtFlush(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 64, MaxDelay: 60 * time.Millisecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := s.PredictContext(ctx, testInput(0)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("PredictContext = %v, want ErrExpired", err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := s.Stats()
+		if snap.Expired == 1 {
+			if snap.Requests != 0 || snap.Batches != 0 {
+				t.Fatalf("forward pass ran for an expired row: %+v", snap)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expired row never dropped: %+v", snap)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestCancelledBeforeAdmission checks that a dead-on-arrival context is
+// rejected at admission and counted in the cancelled bucket.
+func TestCancelledBeforeAdmission(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.PredictContext(ctx, testInput(1)); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("PredictContext = %v, want ErrCancelled", err)
+	}
+	snap := s.Stats()
+	if snap.Cancelled != 1 || snap.Requests != 0 {
+		t.Fatalf("cancelled/requests = %d/%d, want 1/0", snap.Cancelled, snap.Requests)
+	}
+}
+
+// TestRecvPriority pins the lane-draining contract of recv: strict
+// interactive-first order, bulk only when interactive is empty, timer
+// fires only when both lanes are empty, recvClosed only once both lanes
+// are closed and drained.
+func TestRecvPriority(t *testing.T) {
+	qi := make(chan *request, 4)
+	qb := make(chan *request, 4)
+	i1, i2 := &request{class: Interactive}, &request{class: Interactive}
+	b1, b2 := &request{class: Bulk}, &request{class: Bulk}
+	qb <- b1
+	qb <- b2
+	qi <- i1
+	qi <- i2
+
+	want := []*request{i1, i2, b1, b2}
+	for k, w := range want {
+		r, st := recv(&qi, &qb, nil)
+		if st != recvReq || r != w {
+			t.Fatalf("pull %d = %v (state %d), want request %d in interactive-first order", k, r, st, k)
+		}
+	}
+
+	fired := make(chan time.Time, 1)
+	fired <- time.Time{}
+	// A waiting interactive request beats even an already-fired timer:
+	// the fast path drains the interactive lane before the select.
+	qi <- i1
+	qb <- b1
+	if r, st := recv(&qi, &qb, fired); st != recvReq || r != i1 {
+		t.Fatalf("ready timer preempted a waiting interactive request (state %d)", st)
+	}
+	if r, st := recv(&qi, &qb, nil); st != recvReq || r != b1 {
+		t.Fatalf("bulk request not drained (state %d)", st)
+	}
+	if _, st := recv(&qi, &qb, fired); st != recvTimeout {
+		t.Fatalf("empty lanes with ready timer: state %d, want recvTimeout", st)
+	}
+
+	close(qi)
+	close(qb)
+	if _, st := recv(&qi, &qb, nil); st != recvClosed {
+		t.Fatal("closed+drained lanes did not report recvClosed")
+	}
+	if qi != nil || qb != nil {
+		t.Fatal("closed lanes were not nilled out")
+	}
+}
+
+// TestReapBulk checks that context-dead rows at the front of the bulk
+// lane are reaped — replied to, counted, inflight slot released — so a
+// starved bulk lane cannot pin queue capacity forever, while an alive
+// row is pushed back rather than jumping ahead of interactive work.
+func TestReapBulk(t *testing.T) {
+	s := &Server{stats: newStats()}
+	qb := make(chan *request, 4)
+	dead := func() *request {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return &request{ctx: ctx, class: Bulk, resp: make(chan result, 1)}
+	}
+	d1, d2, d3 := dead(), dead(), dead()
+	alive := &request{ctx: context.Background(), class: Bulk, resp: make(chan result, 1)}
+	qb <- d1
+	qb <- d2
+	qb <- alive
+	qb <- d3
+	s.inflight.Store(4)
+
+	if got := s.reapBulk(&qb); got != nil {
+		t.Fatalf("reapBulk returned %v, want nil (alive row pushed back)", got)
+	}
+	for i, d := range []*request{d1, d2} {
+		res := <-d.resp
+		if !errors.Is(res.err, ErrCancelled) {
+			t.Fatalf("dead row %d reply = %v, want ErrCancelled", i, res.err)
+		}
+	}
+	if n := s.inflight.Load(); n != 2 {
+		t.Fatalf("inflight = %d, want 2 (two dead rows released)", n)
+	}
+	// The alive row rotated to the back: lane is now [d3, alive].
+	if len(qb) != 2 || <-qb != d3 || <-qb != alive {
+		t.Fatal("alive row was not rotated behind the remaining rows")
+	}
+	if snap := s.stats.snapshot(); snap.Cancelled != 2 {
+		t.Fatalf("cancelled = %d, want 2", snap.Cancelled)
+	}
+
+	// Once the server is closed the lane cannot accept the push-back:
+	// the alive row is handed to the caller to serve in the next batch.
+	s.closed = true
+	qb <- alive
+	if got := s.reapBulk(&qb); got != alive {
+		t.Fatalf("closed-server reap = %v, want the alive row", got)
+	}
+	s.closed = false
+
+	// An empty open lane yields nil without blocking; a closed drained
+	// lane nils the pointer.
+	empty := make(chan *request, 1)
+	if r := s.reapBulk(&empty); r != nil {
+		t.Fatalf("empty lane reap = %v, want nil", r)
+	}
+	close(empty)
+	if r := s.reapBulk(&empty); r != nil || empty != nil {
+		t.Fatal("closed lane not nilled out")
+	}
+}
+
+// TestPriorityInteractiveFirst clogs the pipeline end to end (worker
+// busy, batches channel full, batcher blocked mid-send) so that one
+// bulk and one interactive request are both parked in their lanes, then
+// checks the batcher serves the interactive one first. Sequencing uses
+// queue introspection, not sleeps; PassOverhead keeps the pipeline
+// clogged for 250ms so the setup comfortably finishes inside the
+// window even under the race detector.
+func TestPriorityInteractiveFirst(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		MaxBatch:     1,
+		MaxDelay:     time.Millisecond,
+		QueueDepth:   16,
+		PassOverhead: 250 * time.Millisecond,
+	})
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s", what)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	submit := func(name string, class Priority, i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.PredictPriority(context.Background(), testInput(i), class); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}()
+	}
+
+	// Three bulk cloggers fill the single worker, the batches channel
+	// (capacity = one replica) and the batcher's blocked send — their
+	// relative order doesn't matter. Once all three are admitted and
+	// out of the lane, nothing pulls from the lanes for the rest of the
+	// clog window, so C and D park there and the batcher's next pull
+	// must take interactive D before bulk C.
+	submit("A", Bulk, 0)
+	submit("B", Bulk, 1)
+	submit("E", Bulk, 2)
+	waitFor("cloggers to fill the pipeline", func() bool {
+		return s.inflight.Load() == 3 && len(s.lanes[Bulk]) == 0
+	})
+	submit("C", Bulk, 3)
+	waitFor("C to park in the bulk lane", func() bool { return len(s.lanes[Bulk]) == 1 })
+	submit("D", Interactive, 4)
+	waitFor("D to park in the interactive lane", func() bool { return len(s.lanes[Interactive]) == 1 })
+	wg.Wait()
+
+	pos := make(map[string]int, len(order))
+	for i, name := range order {
+		pos[name] = i
+	}
+	if len(order) != 5 {
+		t.Fatalf("completed %d requests, want 5 (%v)", len(order), order)
+	}
+	if pos["D"] > pos["C"] {
+		t.Fatalf("bulk request served before interactive: %v", order)
+	}
+}
+
+// TestCloseVsPredictRace hammers the queue-admission boundary from many
+// goroutines while the server shuts down concurrently; run under -race.
+// Every call must end with a definite outcome from the lifecycle
+// vocabulary and Close must not hang on abandoned requests.
+func TestCloseVsPredictRace(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		model := cyclegan.New(testModelCfg(), 42)
+		pool, err := NewPool([]*cyclegan.Surrogate{model}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewServer(pool, Config{MaxBatch: 4, MaxDelay: 200 * time.Microsecond, QueueDepth: 8})
+
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := 0; k < 4; k++ {
+					_, err := s.Predict(testInput(g*4 + k))
+					if err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrOverloaded) {
+						t.Errorf("Predict during Close = %v", err)
+					}
+				}
+			}(g)
+		}
+		s.Close()
+		wg.Wait()
+
+		if _, err := s.Predict(testInput(0)); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Predict after Close = %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestPredictPriorityInvalid rejects classes outside the lane set.
+func TestPredictPriorityInvalid(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	if _, err := s.PredictPriority(context.Background(), testInput(0), Priority(9)); err == nil {
+		t.Fatal("unknown priority accepted")
+	}
+}
+
+// TestParsePriority covers the wire names.
+func TestParsePriority(t *testing.T) {
+	for in, want := range map[string]Priority{
+		"": Interactive, "interactive": Interactive, "Bulk": Bulk, "bulk": Bulk,
+	} {
+		got, err := ParsePriority(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePriority(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePriority("urgent"); err == nil {
+		t.Fatal("unknown priority name accepted")
+	}
+	if Interactive.String() != "interactive" || Bulk.String() != "bulk" {
+		t.Fatal("Priority.String mismatch")
 	}
 }
 

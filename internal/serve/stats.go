@@ -14,6 +14,8 @@ type Stats struct {
 	start       time.Time
 	requests    int64
 	overloads   int64
+	expired     int64
+	cancelled   int64
 	cacheHits   int64
 	cacheMisses int64
 	latency     metrics.Meter // milliseconds, enqueue to scatter
@@ -45,6 +47,22 @@ func (s *Stats) overload() {
 	s.mu.Unlock()
 }
 
+// expire counts one request dropped — at admission or at flush time,
+// but always before a forward pass — because its deadline passed.
+func (s *Stats) expire() {
+	s.mu.Lock()
+	s.expired++
+	s.mu.Unlock()
+}
+
+// cancel counts one request dropped before a forward pass because its
+// context was cancelled.
+func (s *Stats) cancel() {
+	s.mu.Lock()
+	s.cancelled++
+	s.mu.Unlock()
+}
+
 // cacheHit counts one request answered from the LRU cache.
 func (s *Stats) cacheHit() {
 	s.mu.Lock()
@@ -65,6 +83,8 @@ type StatsSnapshot struct {
 	Requests     int64   `json:"requests"`
 	Batches      int     `json:"batches"`
 	Overloads    int64   `json:"overloads"`
+	Expired      int64   `json:"expired"`
+	Cancelled    int64   `json:"cancelled"`
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	MeanBatch    float64 `json:"mean_batch"`
@@ -84,6 +104,8 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Requests:    s.requests,
 		Batches:     s.batchOccup.Count(),
 		Overloads:   s.overloads,
+		Expired:     s.expired,
+		Cancelled:   s.cancelled,
 		CacheHits:   s.cacheHits,
 		CacheMisses: s.cacheMisses,
 		MeanBatch:   s.batchOccup.Mean(),
