@@ -1,41 +1,57 @@
-// Command jagserve serves surrogate predictions over HTTP from a
-// checkpoint produced by cmd/ltfbtrain — the deployment step of the
+// Command jagserve serves surrogate predictions over HTTP from
+// checkpoints produced by cmd/ltfbtrain — the deployment step of the
 // paper's workflow, where the trained generative model stands in for
-// the JAG simulator. Concurrent requests are coalesced by the
-// internal/serve micro-batching queue and answered by a pool of model
-// replicas, optionally ensemble-averaged across the top-k tournament
-// checkpoints.
+// the JAG simulator. One process serves any number of named models
+// (per-geometry, per-campaign, or top-k ensembles side by side); each
+// model runs behind its own internal/serve micro-batching queue and
+// replica pool, and each model method ("predict", "invert") batches
+// independently, so rows bound for different forward passes never mix.
 //
 // Every request carries a lifecycle: a priority class ("interactive",
 // the default, preempts "bulk" in the batching queue — set it via the
 // "priority" JSON field or the X-Priority header) and an optional
-// deadline ("deadline_ms" field, or the -deadline flag's default).
-// Rows whose deadline passes while still queued are dropped before the
-// forward pass and reported as per-row 504 errors; a batch with some
-// good and some bad rows returns 200 with an aligned "errors" array
-// instead of failing wholesale.
+// deadline ("deadline_ms" field, X-Deadline-Ms header, or the -deadline
+// flag's default). Rows whose deadline passes while still queued are
+// dropped before the forward pass and reported as per-row 504 errors; a
+// batch with some good and some bad rows returns 200 with an aligned
+// "errors" array instead of failing wholesale.
+//
+// Bodies are content-negotiated: JSON ({"input":[...]} or
+// {"inputs":[[...],...]}), or the binary tensor framing of
+// serve/wire.go (Content-Type/Accept: application/x-jag-tensor) so
+// Default64-geometry images ship as raw little-endian float32 tensors
+// instead of JSON arrays.
 //
 // Endpoints:
 //
-//	POST /predict  {"input":[5 floats]} or {"inputs":[[...],...]}
-//	               (+ "scalars_only":true to drop image pixels,
-//	                "priority":"bulk", "deadline_ms":250)
-//	GET  /healthz  liveness + pool shape (503 "closed" after shutdown)
-//	GET  /stats    latency / batch-occupancy / cache / expiry counters
+//	GET  /v1/models                  list models: methods, dims, readiness
+//	POST /v1/models/{name}/{method}  batched call, JSON or binary tensor body
+//	GET  /v1/models/{name}/stats     per-model latency/occupancy/cache counters
+//	GET  /healthz                    per-model readiness; 503 if any model closed
+//	POST /predict                    deprecated alias: default model's "predict"
+//	GET  /stats                      deprecated alias: default model's counters
 //
 // Usage:
 //
-//	ltfbtrain -trainers 4 -checkpoint model.ckpt -top 2
-//	jagserve -checkpoint model.ckpt -replicas 4            # throughput: 4 copies
-//	jagserve -checkpoint model.ckpt,model.2.ckpt -ensemble # quality: top-2 average
-//	jagserve -checkpoint model.ckpt -deadline 250ms        # bound queue time
-//	curl -d '{"input":[0.5,0.5,0.5,0.5,0.5],"scalars_only":true}' localhost:8080/predict
+//	ltfbtrain -trainers 4 -checkpoint ckpts/fwd.ckpt -top 2
+//	jagserve -models jag=ckpts/fwd.ckpt -models jag-top2=ckpts2/ -ensemble
+//	jagserve -checkpoint model.ckpt -replicas 4     # legacy: registers "default"
+//	curl -d '{"input":[0.5,0.5,0.5,0.5,0.5],"scalars_only":true}' \
+//	    localhost:8080/v1/models/jag/predict
+//	curl -d '{"input":[0.5,0.5,0.5,0.5,0.5]}' localhost:8080/v1/models/jag/invert
+//
+// Each -models value is name=path, where path is a *.spec.json file, a
+// checkpoint (its .spec.json sidecar is loaded), or a directory holding
+// exactly one spec. The first -models entry (or the legacy "default"
+// model) answers the deprecated unversioned endpoints; override with
+// -default.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -47,57 +63,113 @@ import (
 	"repro/internal/serve"
 )
 
+// modelFlag is one parsed -models entry.
+type modelFlag struct {
+	name, path string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("jagserve: ")
 	addr := flag.String("addr", ":8080", "HTTP listen address")
-	ckpt := flag.String("checkpoint", "", "checkpoint path(s), comma-separated; overrides the spec's list")
-	specPath := flag.String("spec", "", "model spec path (default <first checkpoint>.spec.json)")
-	replicas := flag.Int("replicas", 1, "model replicas (raised to the checkpoint count if lower; ignored with -ensemble, which uses one per checkpoint)")
-	ensemble := flag.Bool("ensemble", false, "average predictions across the checkpoints instead of round-robin")
+	var models []modelFlag
+	flag.Func("models", "named model as name=path (spec file, checkpoint, or spec dir); repeatable", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		models = append(models, modelFlag{name: name, path: path})
+		return nil
+	})
+	ckpt := flag.String("checkpoint", "", "legacy single-model checkpoint path(s), comma-separated, registered as \"default\"; overrides the spec's list")
+	specPath := flag.String("spec", "", "legacy model spec path (default <first checkpoint>.spec.json)")
+	defName := flag.String("default", "", "model answering the deprecated /predict and /stats aliases (default: first registered)")
+	replicas := flag.Int("replicas", 1, "model replicas per model (raised to the checkpoint count if lower; ignored with -ensemble, which uses one per checkpoint)")
+	ensemble := flag.Bool("ensemble", false, "average predictions across each model's checkpoints instead of round-robin")
 	maxBatch := flag.Int("max-batch", 64, "max requests coalesced into one forward pass")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max wait before flushing a partial batch")
-	queueDepth := flag.Int("queue-depth", 0, "max in-flight requests before 503 (0 = 4*max-batch)")
-	cacheSize := flag.Int("cache-size", 1024, "LRU response-cache entries (0 disables)")
+	queueDepth := flag.Int("queue-depth", 0, "max in-flight requests per model before 503 (0 = 4*max-batch)")
+	cacheSize := flag.Int("cache-size", 1024, "per-model LRU response-cache entries (0 disables)")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline; rows still queued past it are dropped without a forward pass (0 disables; requests override via deadline_ms)")
 	flag.Parse()
 
-	var paths []string
-	for _, p := range strings.Split(*ckpt, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			paths = append(paths, p)
+	// entry is one fully resolved model to register.
+	type entry struct {
+		name  string
+		spec  serve.ModelSpec
+		paths []string
+	}
+	var entries []entry
+
+	// The legacy single-checkpoint flags register as the "default"
+	// model, ahead of -models entries so old deployments keep their
+	// default routing.
+	if *ckpt != "" || *specPath != "" {
+		var paths []string
+		for _, p := range strings.Split(*ckpt, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
 		}
+		sp := *specPath
+		if sp == "" {
+			if len(paths) == 0 {
+				log.Fatal("-spec given empty and no -checkpoint")
+			}
+			sp = serve.SpecPath(paths[0])
+		}
+		spec, err := serve.LoadSpec(sp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(paths) == 0 {
+			paths = spec.Checkpoints
+		}
+		if len(paths) == 0 {
+			log.Fatalf("spec %s lists no checkpoints and none given via -checkpoint", sp)
+		}
+		entries = append(entries, entry{name: "default", spec: spec, paths: paths})
 	}
-	if len(paths) == 0 && *specPath == "" {
-		log.Fatal("need -checkpoint or -spec")
+	for _, m := range models {
+		spec, err := serve.ResolveSpec(m.path)
+		if err != nil {
+			log.Fatalf("model %s: %v", m.name, err)
+		}
+		if len(spec.Checkpoints) == 0 {
+			log.Fatalf("model %s: spec at %s lists no checkpoints", m.name, m.path)
+		}
+		entries = append(entries, entry{name: m.name, spec: spec, paths: spec.Checkpoints})
 	}
-	sp := *specPath
-	if sp == "" {
-		sp = serve.SpecPath(paths[0])
-	}
-	spec, err := serve.LoadSpec(sp)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(paths) == 0 {
-		paths = spec.Checkpoints
-	}
-	if len(paths) == 0 {
-		log.Fatalf("spec %s lists no checkpoints and none given via -checkpoint", sp)
+	if len(entries) == 0 {
+		log.Fatal("need -models name=path (or legacy -checkpoint/-spec)")
 	}
 
-	pool, err := serve.NewPoolFromCheckpoints(spec.Model, paths, *replicas, *ensemble)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := serve.NewServer(pool, serve.Config{
+	cfg := serve.Config{
 		MaxBatch:   *maxBatch,
 		MaxDelay:   *maxDelay,
 		QueueDepth: *queueDepth,
 		CacheSize:  *cacheSize,
-	})
+	}
+	reg := serve.NewRegistry()
+	for _, e := range entries {
+		pool, err := serve.NewPoolFromCheckpoints(e.spec.Model, e.paths, *replicas, *ensemble)
+		if err != nil {
+			log.Fatalf("model %s: %v", e.name, err)
+		}
+		srv := serve.NewServer(pool, cfg)
+		if err := reg.Register(e.name, srv); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("model %s: %d replica(s) of %d checkpoint(s), ensemble=%v, methods %v",
+			e.name, pool.Replicas(), len(e.paths), pool.Ensemble(), srv.Methods())
+	}
+	if *defName != "" {
+		if err := reg.SetDefault(*defName); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	handler := serve.NewHandlerConfig(srv, serve.HandlerConfig{DefaultDeadline: *deadline})
+	handler := serve.NewRegistryHandler(reg, serve.HandlerConfig{DefaultDeadline: *deadline})
 	hs := &http.Server{Addr: *addr, Handler: handler}
 	drained := make(chan struct{})
 	go func() {
@@ -107,18 +179,18 @@ func main() {
 		log.Print("shutting down: draining in-flight requests")
 		// Shutdown first: it stops accepting connections immediately
 		// and drains the in-flight HTTP handlers, whose rows still need
-		// the batching queue. Only then close the queue and workers —
-		// closing it first would 503 rows the drain window could have
+		// the batching queues. Only then close the queues and workers —
+		// closing them first would 503 rows the drain window could have
 		// served (e.g. the later waves of a large throttled batch).
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
-		srv.Close()
+		reg.Close()
 		close(drained)
 	}()
 
-	log.Printf("serving %d replica(s) of %d checkpoint(s) (ensemble=%v, output dim %d) on %s",
-		pool.Replicas(), len(paths), *ensemble, srv.OutputDim(), *addr)
+	def, _, _ := reg.Default()
+	log.Printf("serving %d model(s) %v (default %s) on %s", reg.Len(), reg.Names(), def, *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

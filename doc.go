@@ -7,21 +7,34 @@
 // 10M-sample JAG ICF corpus).
 //
 // Beyond training, the repository covers the deployment step the paper
-// motivates: a trained surrogate replacing the JAG simulator for
-// downstream consumers. internal/serve coalesces concurrent prediction
-// requests into single batched forward passes (the serving-side twin of
-// the paper's ingest batching), spreads them over a pool of model
-// replicas with optional ensemble averaging across tournament winners,
-// caches repeated design points in an LRU, and sheds overload via
-// bounded backpressure. Requests have a context-aware lifecycle:
-// PredictContext carries a per-call deadline, an interactive lane
-// preempts bulk scans in the batching queue, rows whose caller already
-// gave up are dropped before the forward pass, and /predict reports
-// per-row errors so one bad row cannot fail a batch. cmd/ltfbtrain
-// -checkpoint saves a trained
-// population's best models; cmd/jagserve serves them over HTTP JSON
-// (/predict, /healthz, /stats); examples/serving walks the whole
-// train → checkpoint → serve → query path in one process.
+// motivates: trained surrogates replacing the JAG simulator for
+// downstream consumers. internal/serve coalesces concurrent requests
+// into single batched forward passes (the serving-side twin of the
+// paper's ingest batching), spreads them over a pool of model replicas
+// with optional ensemble averaging across tournament winners, caches
+// repeated design points in an LRU, and sheds overload via bounded
+// backpressure. The pipeline serves any serve.Model — named methods
+// with per-method tensor widths; a pool of CycleGAN replicas serves
+// "predict" (forward bundles) and "invert" (inverse design via the
+// G(F(x)) self-consistency path), batched separately so methods never
+// share a forward pass — and a serve.Registry maps model names to
+// independently configured servers, so one process hosts many models.
+// Requests have a context-aware lifecycle: calls carry a per-request
+// deadline, an interactive lane preempts bulk scans in the batching
+// queue, rows whose caller already gave up are dropped before the
+// forward pass, and batched replies report aligned per-row errors so
+// one bad row cannot fail a batch.
+//
+// cmd/jagserve exposes the registry over the versioned v1 HTTP API —
+// GET /v1/models (listing + readiness), POST /v1/models/{name}/{method}
+// (content-negotiated JSON or binary little-endian float32 tensor
+// frames, serve/wire.go), GET /v1/models/{name}/stats, and /healthz
+// with per-model readiness; the unversioned /predict and /stats remain
+// as deprecated aliases onto the default model. cmd/ltfbtrain
+// -checkpoint saves a trained population's best models with the spec
+// sidecar jagserve -models loads; serve.Client is the Go client; and
+// examples/serving walks the whole train → checkpoint → register →
+// query path (both transports, both methods) in one process.
 //
 // Start with README.md for the layout, DESIGN.md for the system inventory
 // and substitution rationale, and EXPERIMENTS.md for paper-vs-measured

@@ -1,10 +1,11 @@
-// Serving quickstart: the full path from training to answering
-// prediction requests — train a tiny surrogate, checkpoint it, load it
-// into the micro-batching server, and hit it with a burst of
-// concurrent clients carrying deadlines, while a bulk parameter scan
-// soaks up leftover capacity in the low-priority lane. This is the
-// workflow cmd/ltfbtrain + cmd/jagserve run across two processes,
-// condensed into one.
+// Serving quickstart: the full path from training to the v1 serving
+// API — train two tiny surrogates, checkpoint them, register both under
+// names in a serve.Registry, mount the versioned HTTP surface, and
+// query it like a remote client would: list the models, run a
+// binary-transport predict call against one model and an invert call
+// against the other, and fall back to the deprecated /predict alias.
+// This is the workflow cmd/ltfbtrain + cmd/jagserve run across two
+// processes, condensed into one.
 //
 // Run with:
 //
@@ -12,13 +13,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
-	"errors"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
-	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -33,107 +36,143 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serving: ")
 
-	// 1. Train a small surrogate (a single trainer, no tournaments;
-	// see examples/ltfb_scaling for the population workflow).
+	// 1. Train two small surrogates — stand-ins for two campaigns'
+	// models served side by side (see examples/ltfb_scaling for the
+	// population workflow that produces real tournament winners).
 	cfg := cyclegan.DefaultConfig(jag.Tiny8)
 	cfg.EncoderHidden = []int{32}
 	cfg.ForwardHidden = []int{16}
 	cfg.InverseHidden = []int{12}
 	cfg.DiscHidden = []int{12}
-	fmt.Println("training a tiny surrogate...")
-	model, err := core.TrainSurrogate(cfg, 256, 120, 16, 3)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 2. Checkpoint it with the serving spec sidecar, as ltfbtrain
-	// -checkpoint does.
 	dir, err := os.MkdirTemp("", "serving-quickstart")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	ckpt := filepath.Join(dir, "model.ckpt")
-	if err := checkpoint.Save(ckpt, 120, model.Nets()); err != nil {
-		log.Fatal(err)
-	}
-	spec := serve.ModelSpec{Model: cfg, Step: 120, Checkpoints: []string{ckpt}}
-	if err := serve.SaveSpec(serve.SpecPath(ckpt), spec); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("checkpointed to %s\n", ckpt)
 
-	// 3. Load the checkpoint into a 2-replica serving pool behind the
-	// micro-batching queue (cmd/jagserve adds the HTTP layer on top).
-	loaded, err := serve.LoadSpec(serve.SpecPath(ckpt))
-	if err != nil {
-		log.Fatal(err)
-	}
-	pool, err := serve.NewPoolFromCheckpoints(loaded.Model, loaded.Checkpoints, 2, false)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv := serve.NewServer(pool, serve.Config{
-		MaxBatch:  32,
-		MaxDelay:  2 * time.Millisecond,
-		CacheSize: 256,
-	})
-	defer srv.Close()
-
-	// 4. Query it from 64 concurrent interactive clients, like
-	// simultaneous users exploring the design space. Each call carries
-	// a deadline through PredictContext: a row still queued when its
-	// context expires is dropped before the forward pass and the caller
-	// sees serve.ErrExpired instead of a late answer. Repeated design
-	// points hit the LRU cache instead of the model. Meanwhile one bulk
-	// scan sweeps the first input axis in the low-priority lane, which
-	// the batcher drains only after the interactive lane is empty.
-	const clients, perClient = 64, 8
-	var expired int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 0; i < 64; i++ {
-			x := []float32{float32(i) / 64, 0.5, 0.5, 0.5, 0.5}
-			if _, err := srv.PredictPriority(context.Background(), x, serve.Bulk); err != nil {
-				log.Fatal(err)
-			}
+	reg := serve.NewRegistry()
+	defer reg.Close()
+	for i, name := range []string{"campaign-a", "campaign-b"} {
+		fmt.Printf("training tiny surrogate %q...\n", name)
+		model, err := core.TrainSurrogate(cfg, 256, 60+60*i, 16, int64(3+i))
+		if err != nil {
+			log.Fatal(err)
 		}
-	}()
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			for i := 0; i < perClient; i++ {
-				x := []float32{
-					float32(c%8) / 8,
-					float32(i) / perClient,
-					0.5, 0.25, 0.75,
-				}
-				ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
-				_, err := srv.PredictContext(ctx, x)
-				cancel()
-				if errors.Is(err, serve.ErrExpired) {
-					mu.Lock()
-					expired++
-					mu.Unlock()
-					continue
-				}
-				if err != nil {
-					log.Fatal(err)
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
 
-	snap := srv.Stats()
-	tab := metrics.NewTable("serving a checkpointed surrogate",
-		"requests", "batches", "mean_batch", "cache_hits", "expired", "mean_latency_ms")
-	tab.AddRow(snap.Requests, snap.Batches, snap.MeanBatch, snap.CacheHits, snap.Expired, snap.MeanLatMs)
+		// 2. Checkpoint with the serving spec sidecar, as ltfbtrain
+		// -checkpoint does; jagserve -models would load exactly this.
+		ckpt := filepath.Join(dir, name+".ckpt")
+		if err := checkpoint.Save(ckpt, 120, model.Nets()); err != nil {
+			log.Fatal(err)
+		}
+		spec := serve.ModelSpec{Model: cfg, Step: 120, Checkpoints: []string{ckpt}}
+		if err := serve.SaveSpec(serve.SpecPath(ckpt), spec); err != nil {
+			log.Fatal(err)
+		}
+
+		// 3. Load the checkpoint into a 2-replica pool behind its own
+		// micro-batching queue and register it under its name. Each
+		// registered model gets independent lanes, cache, and stats;
+		// predict and invert batch separately inside each server.
+		loaded, err := serve.ResolveSpec(ckpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool, err := serve.NewPoolFromCheckpoints(loaded.Model, loaded.Checkpoints, 2, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := serve.NewServer(pool, serve.Config{
+			MaxBatch:  32,
+			MaxDelay:  2 * time.Millisecond,
+			CacheSize: 256,
+		})
+		if err := reg.Register(name, srv); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. Mount the v1 HTTP surface (what cmd/jagserve listens on) and
+	// talk to it over real HTTP.
+	ts := httptest.NewServer(serve.NewRegistryHandler(reg, serve.HandlerConfig{
+		DefaultDeadline: time.Second,
+	}))
+	defer ts.Close()
+	ctx := context.Background()
+
+	cl := serve.NewClient(ts.URL)
+	models, err := cl.Models(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range models {
+		fmt.Printf("model %-10s default=%-5v predict %dx%d, invert %dx%d\n",
+			m.Name, m.Default,
+			m.Methods[serve.MethodPredict].In, m.Methods[serve.MethodPredict].Out,
+			m.Methods[serve.MethodInvert].In, m.Methods[serve.MethodInvert].Out)
+	}
+
+	// 5a. A bulk design-space sweep against campaign-a over the binary
+	// tensor transport: 64 rows ship as one little-endian float32 frame
+	// (wire.go) instead of ~50k-element JSON arrays per row, and the
+	// response comes back as a frame too.
+	bin := serve.NewClient(ts.URL)
+	bin.Binary = true
+	bin.Priority = serve.Bulk
+	sweep := make([][]float32, 64)
+	for i := range sweep {
+		sweep[i] = []float32{float32(i) / 64, 0.5, 0.5, 0.25, 0.75}
+	}
+	outs, rowErrs, err := bin.Call(ctx, "campaign-a", serve.MethodPredict, sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rowErrs != nil {
+		log.Fatalf("sweep rows failed: %+v", rowErrs)
+	}
+	fmt.Printf("binary predict sweep: %d rows x %d outputs (campaign-a)\n", len(outs), len(outs[0]))
+
+	// 5b. Inverse design against campaign-b: the invert method runs the
+	// CycleGAN's G(F(x)) self-consistency path, recovering the inputs a
+	// design point maps back to — served from the same process, batched
+	// separately from predict traffic.
+	inv, rowErrs, err := cl.Call(ctx, "campaign-b", serve.MethodInvert, [][]float32{{0.3, 0.6, 0.5, 0.5, 0.5}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rowErrs != nil {
+		log.Fatalf("invert row failed: %+v", rowErrs)
+	}
+	fmt.Printf("invert [0.3 0.6 0.5 0.5 0.5] -> %.3v (campaign-b)\n", inv[0])
+
+	// 5c. The deprecated unversioned alias still answers — against the
+	// default model (the first registered) — so pre-v1 clients keep
+	// working while they migrate.
+	body, _ := json.Marshal(serve.PredictRequest{Input: []float32{0.5, 0.5, 0.5, 0.5, 0.5}, ScalarsOnly: true})
+	resp, err := http.Post(ts.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var legacy serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&legacy); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("legacy /predict (Deprecation: %s): %d scalars\n",
+		resp.Header.Get("Deprecation"), len(legacy.Outputs[0]))
+
+	// 6. Per-model stats: each registered model owns its counters, with
+	// a per-method split.
+	tab := metrics.NewTable("per-model serving stats",
+		"model", "requests", "predict", "invert", "batches", "mean_batch", "cache_hits")
+	for _, name := range reg.Names() {
+		snap, err := cl.Stats(ctx, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(name, snap.Requests,
+			snap.MethodRequests[serve.MethodPredict], snap.MethodRequests[serve.MethodInvert],
+			snap.Batches, snap.MeanBatch, snap.CacheHits)
+	}
 	fmt.Print(tab.Render())
-	fmt.Printf("throughput: %.0f predictions/sec (replicas=%d, %d interactive calls gave up)\n",
-		snap.ThroughputPS, pool.Replicas(), expired)
 }

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Client is a small Go client for the v1 serving API — the in-process
+// counterpart of cmd/jagserve's HTTP surface, sharing the wire.go frame
+// codec with the server so binary transport round-trips through one
+// implementation.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// Binary selects the tensor frame transport for call bodies and
+	// replies; JSON otherwise. Either way the client accepts both reply
+	// transports, so a batch with row errors (which the server always
+	// reports as JSON) still decodes.
+	Binary bool
+	// Priority is the queue lane requests are submitted under; the zero
+	// value is Interactive.
+	Priority Priority
+	// DeadlineMs bounds each call's time in the serving pipeline
+	// (independent of the context deadline); 0 uses the server default.
+	DeadlineMs int
+}
+
+// NewClient targets a server base URL such as "http://localhost:8080".
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+}
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports) and returns the receiver for chaining.
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.hc = hc
+	return c
+}
+
+// Models fetches the GET /v1/models listing.
+func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
+	var out ModelsResponse
+	if err := c.getJSON(ctx, "/v1/models", &out); err != nil {
+		return nil, err
+	}
+	return out.Models, nil
+}
+
+// Stats fetches one model's serving counters.
+func (c *Client) Stats(ctx context.Context, model string) (StatsSnapshot, error) {
+	var snap StatsSnapshot
+	err := c.getJSON(ctx, "/v1/models/"+url.PathEscape(model)+"/stats", &snap)
+	return snap, err
+}
+
+// Call submits a batch of input rows to POST /v1/models/{model}/{method}
+// and returns the aligned outputs. rowErrs is non-nil when some rows
+// failed (aligned with inputs, nil entries for successes); err reports
+// transport problems and whole-request failures such as an unknown
+// model or method.
+func (c *Client) Call(ctx context.Context, model, method string, inputs [][]float32) (outputs [][]float32, rowErrs []*RowError, err error) {
+	u := c.base + "/v1/models/" + url.PathEscape(model) + "/" + url.PathEscape(method)
+	var body []byte
+	contentType := "application/json"
+	if c.Binary {
+		body, err = EncodeFrame(inputs)
+		if err != nil {
+			return nil, nil, err
+		}
+		contentType = ContentTypeTensor
+	} else {
+		body, err = json.Marshal(PredictRequest{Inputs: inputs})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if c.Binary {
+		// Prefer the frame but accept the JSON fallback the server uses
+		// to carry aligned row errors.
+		req.Header.Set("Accept", ContentTypeTensor+", application/json")
+	}
+	if c.Priority != Interactive {
+		req.Header.Set(PriorityHeader, c.Priority.String())
+	}
+	if c.DeadlineMs > 0 {
+		req.Header.Set(DeadlineHeader, strconv.Itoa(c.DeadlineMs))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeTensor) {
+		rows, err := DecodeFrame(resp.Body, 0, len(inputs))
+		if err != nil {
+			return nil, nil, err
+		}
+		return rows, nil, nil
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pr PredictResponse
+	if jsonErr := json.Unmarshal(raw, &pr); jsonErr == nil && (resp.StatusCode == http.StatusOK || pr.Errors != nil) {
+		return pr.Outputs, pr.Errors, nil
+	}
+	return nil, nil, fmt.Errorf("serve: %s %s: %s", model, method, errorBody(resp.StatusCode, raw))
+}
+
+// getJSON performs one GET and decodes the JSON reply into v.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: GET %s: %s", path, errorBody(resp.StatusCode, raw))
+	}
+	return json.Unmarshal(raw, v)
+}
+
+// errorBody renders a failed reply for error messages, preferring the
+// server's JSON {"error": ...} detail over the raw status.
+func errorBody(status int, raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return fmt.Sprintf("%s (HTTP %d)", e.Error, status)
+	}
+	return fmt.Sprintf("HTTP %d", status)
+}

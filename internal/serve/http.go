@@ -4,7 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,20 +18,33 @@ import (
 // went away before we answered" — the HTTP face of ErrCancelled.
 const statusClientClosedRequest = 499
 
-// PriorityHeader is the request header consulted for the queue lane
-// when the JSON body carries no "priority" field.
-const PriorityHeader = "X-Priority"
+// Request headers of the v1 API. The JSON body fields take precedence
+// where both exist; the binary tensor transport carries no envelope, so
+// these headers are its only way to set per-request options.
+const (
+	// PriorityHeader selects the queue lane ("interactive" or "bulk")
+	// when the body carries no "priority" field.
+	PriorityHeader = "X-Priority"
+	// DeadlineHeader bounds the request's time in the pipeline, in
+	// milliseconds, when the body carries no "deadline_ms" field.
+	DeadlineHeader = "X-Deadline-Ms"
+	// ScalarsOnlyHeader ("true"/"1") trims predict rows to the leading
+	// scalar observables when the body carries no "scalars_only" field.
+	ScalarsOnlyHeader = "X-Scalars-Only"
+)
 
-// PredictRequest is the /predict JSON body: either one input or a list.
+// PredictRequest is the JSON body of a model-method call: either one
+// input row or a list.
 type PredictRequest struct {
-	// Input is a single 5-D parameter vector.
+	// Input is a single parameter vector (the method's input width).
 	Input []float32 `json:"input,omitempty"`
-	// Inputs is a batch of 5-D parameter vectors; each row is submitted
-	// to the batching queue independently, so one HTTP batch and many
+	// Inputs is a batch of parameter vectors; each row is submitted to
+	// the batching queue independently, so one HTTP batch and many
 	// concurrent single-input calls coalesce identically.
 	Inputs [][]float32 `json:"inputs,omitempty"`
-	// ScalarsOnly trims each output row to the 15 scalar observables,
-	// dropping the X-ray image pixels (which dominate the payload).
+	// ScalarsOnly trims each predict output row to the 15 scalar
+	// observables, dropping the X-ray image pixels (which dominate the
+	// payload). Ignored for methods whose rows carry no image tail.
 	ScalarsOnly bool `json:"scalars_only,omitempty"`
 	// Priority selects the queue lane: "interactive" (default) or
 	// "bulk". The X-Priority header is the fallback when this is empty.
@@ -39,7 +55,7 @@ type PredictRequest struct {
 	DeadlineMs int `json:"deadline_ms,omitempty"`
 }
 
-// RowError reports one failed row of a /predict batch.
+// RowError reports one failed row of a batched call.
 type RowError struct {
 	// Status is the HTTP status the row would have had on its own.
 	Status int `json:"status"`
@@ -47,141 +63,355 @@ type RowError struct {
 	Error string `json:"error"`
 }
 
-// PredictResponse is the /predict JSON reply, rows aligned with the
-// request inputs. When every row succeeds Errors is omitted; otherwise
-// Errors has one entry per input (null for rows that succeeded) and the
-// failed rows' Outputs entries are null — one poisoned row no longer
-// discards its siblings' completed work.
+// PredictResponse is the JSON reply of a model-method call, rows
+// aligned with the request inputs. When every row succeeds Errors is
+// omitted; otherwise Errors has one entry per input (null for rows that
+// succeeded) and the failed rows' Outputs entries are null — one
+// poisoned row no longer discards its siblings' completed work.
 type PredictResponse struct {
 	Outputs [][]float32 `json:"outputs"`
 	Errors  []*RowError `json:"errors,omitempty"`
 }
 
-// healthResponse is the /healthz JSON reply.
-type healthResponse struct {
-	Status    string `json:"status"`
-	Replicas  int    `json:"replicas"`
-	Ensemble  bool   `json:"ensemble"`
-	OutputDim int    `json:"output_dim"`
+// ModelInfo is one model's entry in the GET /v1/models listing.
+type ModelInfo struct {
+	Name string `json:"name"`
+	// Default marks the model the deprecated unversioned endpoints
+	// answer for.
+	Default bool `json:"default,omitempty"`
+	// Ready is false once the model's server has been closed.
+	Ready    bool            `json:"ready"`
+	Replicas int             `json:"replicas,omitempty"`
+	Ensemble bool            `json:"ensemble,omitempty"`
+	Methods  map[string]Dims `json:"methods"`
 }
 
-// HandlerConfig tunes NewHandlerConfig.
+// ModelsResponse is the GET /v1/models JSON reply.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// ModelHealth is one model's entry in the /healthz reply.
+type ModelHealth struct {
+	// Status is "ok" while the model's server accepts requests and
+	// "closed" after shutdown.
+	Status   string `json:"status"`
+	Replicas int    `json:"replicas,omitempty"`
+	Ensemble bool   `json:"ensemble,omitempty"`
+}
+
+// HealthResponse is the /healthz JSON reply: per-model readiness, plus
+// an overall status that is "ok" only while every registered model is
+// serving (any closed model turns the endpoint 503 so load balancers
+// stop routing here).
+type HealthResponse struct {
+	Status string                 `json:"status"`
+	Models map[string]ModelHealth `json:"models"`
+}
+
+// HandlerConfig tunes NewRegistryHandler.
 type HandlerConfig struct {
-	// DefaultDeadline is applied to /predict requests that don't carry
-	// their own deadline_ms; 0 leaves them unbounded.
+	// DefaultDeadline is applied to calls that don't carry their own
+	// deadline_ms; 0 leaves them unbounded.
 	DefaultDeadline time.Duration
 }
 
-// NewHandler exposes a Server over HTTP JSON with default handler
-// options: POST /predict, GET /healthz, GET /stats. cmd/jagserve mounts
-// exactly this handler; tests drive it through httptest.
+// NewHandler exposes a single Server over the full v1 HTTP surface by
+// wrapping it as the sole (and default) model, named "default", of a
+// fresh Registry. Tests and single-model deployments mount exactly
+// this handler.
 func NewHandler(s *Server) http.Handler { return NewHandlerConfig(s, HandlerConfig{}) }
 
 // NewHandlerConfig is NewHandler with explicit options.
 func NewHandlerConfig(s *Server, hc HandlerConfig) http.Handler {
+	reg := NewRegistry()
+	if err := reg.Register("default", s); err != nil {
+		panic(err) // unreachable: the name is valid and the registry fresh
+	}
+	return NewRegistryHandler(reg, hc)
+}
+
+// NewRegistryHandler exposes every model of a Registry over HTTP:
+//
+//	GET  /v1/models                    model listing: methods, dims, readiness
+//	POST /v1/models/{name}/{method}    batched call (JSON or binary tensor body)
+//	GET  /v1/models/{name}/stats       per-model serving counters
+//	GET  /healthz                      per-model readiness; 503 if any model closed
+//	POST /predict                      deprecated: default model's "predict"
+//	GET  /stats                        deprecated: default model's counters
+//
+// Call bodies are content-negotiated: a JSON PredictRequest, or a
+// binary tensor frame (Content-Type ContentTypeTensor, options via the
+// X-* headers). Responses mirror the request transport — binary when
+// the client accepts ContentTypeTensor (or sent binary and stated no
+// preference) and every row succeeded; JSON otherwise, so the aligned
+// per-row error array survives regardless of transport. The per-model
+// stats route does not collide with a model method named "stats":
+// stats is GET-only and calls are POST-only, so Go's method-qualified
+// mux patterns keep both reachable.
+func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "POST only")
-			return
-		}
-		var req PredictRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
-			return
-		}
-		priority := req.Priority
-		if priority == "" {
-			priority = r.Header.Get(PriorityHeader)
-		}
-		class, err := ParsePriority(priority)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		inputs := req.Inputs
-		if req.Input != nil {
-			inputs = append([][]float32{req.Input}, inputs...)
-		}
-		if len(inputs) == 0 {
-			httpError(w, http.StatusBadRequest, "no inputs")
-			return
-		}
-		// The rows live and die with the HTTP request: a disconnecting
-		// client or an elapsed deadline turns still-queued rows stale,
-		// and the batcher drops them before the forward pass.
-		ctx := r.Context()
-		deadline := hc.DefaultDeadline
-		if req.DeadlineMs > 0 {
-			deadline = time.Duration(req.DeadlineMs) * time.Millisecond
-		}
-		if deadline > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, deadline)
-			defer cancel()
-		}
-		outputs := make([][]float32, len(inputs))
-		errs := make([]error, len(inputs))
-		// Submit rows concurrently so one HTTP batch benefits from the
-		// same coalescing as independent clients — but throttled to half
-		// the queue depth, so a single large batch cannot trip its own
-		// backpressure (ErrOverloaded is for contention between clients,
-		// not for one request's row count).
-		limit := s.cfg.QueueDepth / 2
-		if limit < 1 {
-			limit = 1
-		}
-		sem := make(chan struct{}, limit)
-		var wg sync.WaitGroup
-		for i := range inputs {
-			sem <- struct{}{}
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				outputs[i], errs[i] = s.PredictPriority(ctx, inputs[i], class)
-				<-sem
-			}(i)
-		}
-		wg.Wait()
-		rowErrs, failed := collectRowErrors(errs)
-		if req.ScalarsOnly {
-			for i, row := range outputs {
-				if len(row) > jag.ScalarDim {
-					outputs[i] = row[:jag.ScalarDim]
-				}
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		def, _, _ := reg.Default()
+		resp := ModelsResponse{Models: []ModelInfo{}}
+		for _, name := range reg.Names() {
+			s, ok := reg.Get(name)
+			if !ok {
+				continue
 			}
-		}
-		resp := PredictResponse{Outputs: outputs}
-		if failed > 0 {
-			resp.Errors = rowErrs
-		}
-		if failed == len(inputs) {
-			// Nothing succeeded: surface the severest row status at the
-			// top level (the body still carries the per-row detail).
-			writeJSONStatus(w, batchStatus(rowErrs), resp)
-			return
+			info := ModelInfo{
+				Name:    name,
+				Default: name == def,
+				Ready:   !s.Closed(),
+				Methods: s.Dims(),
+			}
+			info.Replicas, info.Ensemble = poolShape(s.Model())
+			resp.Models = append(resp.Models, info)
 		}
 		writeJSON(w, resp)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		status, code := "ok", http.StatusOK
-		if s.Closed() {
-			status, code = "closed", http.StatusServiceUnavailable
+	mux.HandleFunc("POST /v1/models/{name}/{method}", func(w http.ResponseWriter, r *http.Request) {
+		name, method := r.PathValue("name"), r.PathValue("method")
+		s, ok := reg.Get(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q (have: %s)",
+				name, strings.Join(reg.Names(), ", ")))
+			return
 		}
-		writeJSONStatus(w, code, healthResponse{
-			Status:    status,
-			Replicas:  s.Pool().Replicas(),
-			Ensemble:  s.Pool().Ensemble(),
-			OutputDim: s.OutputDim(),
-		})
+		if _, ok := s.Dims()[method]; !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("model %q has no method %q (serves: %s)",
+				name, method, strings.Join(s.Methods(), ", ")))
+			return
+		}
+		serveCall(w, r, s, method, hc)
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/models/{name}/stats", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := reg.Get(r.PathValue("name"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", r.PathValue("name")))
+			return
+		}
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := HealthResponse{Status: "ok", Models: map[string]ModelHealth{}}
+		code := http.StatusOK
+		for _, name := range reg.Names() {
+			s, ok := reg.Get(name)
+			if !ok {
+				continue
+			}
+			mh := ModelHealth{Status: "ok"}
+			mh.Replicas, mh.Ensemble = poolShape(s.Model())
+			if s.Closed() {
+				// One dead model degrades the whole process: load
+				// balancers should stop routing here rather than let
+				// that model's callers 503 at the call route.
+				mh.Status = "closed"
+				resp.Status = "closed"
+				code = http.StatusServiceUnavailable
+			}
+			resp.Models[name] = mh
+		}
+		writeJSONStatus(w, code, resp)
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		markDeprecated(w)
+		name, s, ok := reg.Default()
+		if !ok {
+			httpError(w, http.StatusServiceUnavailable, "no models registered")
+			return
+		}
+		if _, ok := s.Dims()[MethodPredict]; !ok {
+			httpError(w, http.StatusNotFound, fmt.Sprintf("default model %q has no predict method", name))
+			return
+		}
+		serveCall(w, r, s, MethodPredict, hc)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		markDeprecated(w)
+		_, s, ok := reg.Default()
+		if !ok {
+			httpError(w, http.StatusServiceUnavailable, "no models registered")
+			return
+		}
 		writeJSON(w, s.Stats())
 	})
 	return mux
 }
 
-// collectRowErrors maps per-row Predict errors onto aligned RowError
+// poolShape extracts the replica count and ensemble flag from models
+// that expose them (as *Pool does); other Model implementations report
+// zero values.
+func poolShape(m Model) (replicas int, ensemble bool) {
+	if r, ok := m.(interface{ Replicas() int }); ok {
+		replicas = r.Replicas()
+	}
+	if e, ok := m.(interface{ Ensemble() bool }); ok {
+		ensemble = e.Ensemble()
+	}
+	return replicas, ensemble
+}
+
+// markDeprecated stamps the deprecation headers on the unversioned
+// legacy endpoints, pointing clients at the v1 surface.
+func markDeprecated(w http.ResponseWriter) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/models>; rel="successor-version"`)
+}
+
+// serveCall is the transport-agnostic core of a batched model-method
+// call: decode the inputs (JSON envelope or binary tensor frame),
+// submit every row to the method's batching queue under one lifecycle,
+// and render the aligned results over the negotiated transport.
+func serveCall(w http.ResponseWriter, r *http.Request, s *Server, method string, hc HandlerConfig) {
+	dims := s.Dims()[method]
+	binaryReq := strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeTensor)
+
+	var inputs [][]float32
+	priority := r.Header.Get(PriorityHeader)
+	deadline := hc.DefaultDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			// A malformed deadline must not silently become "no
+			// deadline": the caller asked for shedding and would get
+			// unbounded queueing instead.
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad %s %q: want a positive integer", DeadlineHeader, h))
+			return
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+	}
+	scalarsOnly := isTrue(r.Header.Get(ScalarsOnlyHeader))
+	if binaryReq {
+		// Cap the declared row count so one small request frame cannot
+		// demand an output allocation beyond the frame budget: the
+		// input side is bounded by MaxFrameElems on its own, but with
+		// a wide output (predict is ~49k cols at Default64) the reply
+		// is the amplified dimension.
+		maxRows := MaxFrameElems / dims.Out
+		if maxRows < 1 {
+			maxRows = 1
+		}
+		rows, err := DecodeFrame(r.Body, dims.In, maxRows)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad tensor frame: "+err.Error())
+			return
+		}
+		inputs = rows
+	} else {
+		var req PredictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: "+err.Error())
+			return
+		}
+		inputs = req.Inputs
+		if req.Input != nil {
+			inputs = append([][]float32{req.Input}, inputs...)
+		}
+		if req.Priority != "" {
+			priority = req.Priority
+		}
+		if req.DeadlineMs > 0 {
+			deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+		}
+		if req.ScalarsOnly {
+			scalarsOnly = true
+		}
+	}
+	class, err := ParsePriority(priority)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(inputs) == 0 {
+		httpError(w, http.StatusBadRequest, "no inputs")
+		return
+	}
+
+	// The rows live and die with the HTTP request: a disconnecting
+	// client or an elapsed deadline turns still-queued rows stale, and
+	// the batcher drops them before the forward pass.
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	outputs := make([][]float32, len(inputs))
+	errs := make([]error, len(inputs))
+	// Submit rows concurrently so one HTTP batch benefits from the same
+	// coalescing as independent clients — but throttled to half the
+	// queue depth, so a single large batch cannot trip its own
+	// backpressure (ErrOverloaded is for contention between clients,
+	// not for one request's row count).
+	limit := s.cfg.QueueDepth / 2
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := range inputs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outputs[i], errs[i] = s.Call(ctx, method, inputs[i], class)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	rowErrs, failed := collectRowErrors(errs)
+	if scalarsOnly && method == MethodPredict {
+		for i, row := range outputs {
+			if len(row) > jag.ScalarDim {
+				outputs[i] = row[:jag.ScalarDim]
+			}
+		}
+	}
+
+	// Respond binary when the client accepts the tensor media type, or
+	// sent binary and expressed no preference — but only when every row
+	// succeeded: the frame has no error channel, so mixed results fall
+	// back to the JSON body and its aligned errors array.
+	accept := r.Header.Get("Accept")
+	wantBinary := strings.Contains(accept, ContentTypeTensor)
+	if accept == "" || accept == "*/*" {
+		wantBinary = binaryReq
+	}
+	if failed == 0 && wantBinary {
+		buf, err := EncodeFrame(outputs)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypeTensor)
+		_, _ = w.Write(buf)
+		return
+	}
+	resp := PredictResponse{Outputs: outputs}
+	if failed > 0 {
+		resp.Errors = rowErrs
+	}
+	if failed == len(inputs) {
+		// Nothing succeeded: surface the severest row status at the
+		// top level (the body still carries the per-row detail).
+		writeJSONStatus(w, batchStatus(rowErrs), resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// isTrue parses a permissive boolean header value.
+func isTrue(s string) bool {
+	switch strings.ToLower(s) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// collectRowErrors maps per-row Call errors onto aligned RowError
 // entries and counts the failures.
 func collectRowErrors(errs []error) (rowErrs []*RowError, failed int) {
 	rowErrs = make([]*RowError, len(errs))
@@ -195,32 +425,41 @@ func collectRowErrors(errs []error) (rowErrs []*RowError, failed int) {
 	return rowErrs, failed
 }
 
-// rowStatus maps one row's Predict error to its HTTP status.
+// rowStatus maps one row's Call error to its HTTP status.
 func rowStatus(err error) int {
 	switch {
+	case errors.Is(err, ErrModelFailure):
+		return http.StatusInternalServerError
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrExpired):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, ErrCancelled):
 		return statusClientClosedRequest
+	case errors.Is(err, ErrUnknownMethod):
+		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}
 }
 
 // severity ranks row statuses for the all-rows-failed top-level status:
-// 503 (capacity / shutdown — retry elsewhere) > 504 (deadline) > 499
-// (client gone) > 400 (caller bug). The ordering is a fixed property of
-// the status, never of slice iteration order, so the top-level status
-// of a mixed-failure batch is deterministic.
+// 500 (model failure) > 503 (capacity / shutdown — retry elsewhere) >
+// 504 (deadline) > 499 (client gone) > 404 (no such method) > 400
+// (caller bug). The ordering is a fixed property of the status, never
+// of slice iteration order, so the top-level status of a mixed-failure
+// batch is deterministic.
 func severity(status int) int {
 	switch status {
+	case http.StatusInternalServerError:
+		return 6
 	case http.StatusServiceUnavailable:
-		return 4
+		return 5
 	case http.StatusGatewayTimeout:
-		return 3
+		return 4
 	case statusClientClosedRequest:
+		return 3
+	case http.StatusNotFound:
 		return 2
 	case http.StatusBadRequest:
 		return 1

@@ -255,14 +255,17 @@ func TestHTTPPriority(t *testing.T) {
 }
 
 // TestBatchStatusDeterministic pins the severity ordering of the
-// all-rows-failed top-level status: 503 > 504 > 499 > 400, independent
-// of row order.
+// all-rows-failed top-level status: 500 > 503 > 504 > 499 > 404 > 400,
+// independent of row order.
 func TestBatchStatusDeterministic(t *testing.T) {
 	re := func(st int) *RowError { return &RowError{Status: st} }
 	cases := []struct {
 		rows []*RowError
 		want int
 	}{
+		{[]*RowError{re(503), re(500)}, 500},
+		{[]*RowError{re(400), re(404)}, 404},
+		{[]*RowError{re(404), re(499)}, 499},
 		{[]*RowError{re(400), re(503)}, 503},
 		{[]*RowError{re(503), re(400)}, 503},
 		{[]*RowError{re(504), re(503), re(400)}, 503},
@@ -320,15 +323,12 @@ func TestHTTPHealthAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health struct {
-		Status   string `json:"status"`
-		Replicas int    `json:"replicas"`
-	}
+	var health HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if health.Status != "ok" || health.Replicas != 1 {
+	if health.Status != "ok" || health.Models["default"].Status != "ok" || health.Models["default"].Replicas != 1 {
 		t.Fatalf("health = %+v", health)
 	}
 

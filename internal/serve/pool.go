@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/cyclegan"
+	"repro/internal/jag"
 	"repro/internal/tensor"
 )
 
@@ -76,6 +77,9 @@ func NewPoolFromCheckpoints(cfg cyclegan.Config, paths []string, replicas int, e
 	return NewPool(models, ensemble)
 }
 
+// Pool implements the Model contract the Server batches over.
+var _ Model = (*Pool)(nil)
+
 // Replicas returns the pool width.
 func (p *Pool) Replicas() int { return len(p.replicas) }
 
@@ -85,15 +89,40 @@ func (p *Pool) Ensemble() bool { return p.ensemble }
 // OutputDim returns the width of one prediction row.
 func (p *Pool) OutputDim() int { return p.replicas[0].Cfg.Geometry.OutputDim() }
 
-// Run predicts one batch. Round-robin mode locks a single replica;
-// ensemble mode fans the batch out to every replica concurrently and
-// averages the predictions elementwise.
-func (p *Pool) Run(x *tensor.Matrix) *tensor.Matrix {
+// Dims enumerates the surrogate's served methods: the forward pass
+// ("predict": 5-D design point to output bundle) and the inverse pass
+// ("invert": the self-consistency path G(F(x)), 5-D to 5-D).
+func (p *Pool) Dims() map[string]Dims {
+	return map[string]Dims{
+		MethodPredict: {In: jag.InputDim, Out: p.OutputDim()},
+		MethodInvert:  {In: jag.InputDim, Out: jag.InputDim},
+	}
+}
+
+// pass returns the per-replica forward function for method.
+func pass(method string) (func(*cyclegan.Surrogate, *tensor.Matrix) *tensor.Matrix, error) {
+	switch method {
+	case MethodPredict:
+		return (*cyclegan.Surrogate).Predict, nil
+	case MethodInvert:
+		return (*cyclegan.Surrogate).Invert, nil
+	}
+	return nil, fmt.Errorf("%w %q", ErrUnknownMethod, method)
+}
+
+// Run executes one batched pass of method. Round-robin mode locks a
+// single replica; ensemble mode fans the batch out to every replica
+// concurrently and averages the outputs elementwise.
+func (p *Pool) Run(method string, x *tensor.Matrix) (*tensor.Matrix, error) {
+	fwd, err := pass(method)
+	if err != nil {
+		return nil, err
+	}
 	if !p.ensemble || len(p.replicas) == 1 {
 		i := int(p.next.Add(1)-1) % len(p.replicas)
 		p.locks[i].Lock()
 		defer p.locks[i].Unlock()
-		return p.replicas[i].Predict(x)
+		return fwd(p.replicas[i], x), nil
 	}
 
 	outs := make([]*tensor.Matrix, len(p.replicas))
@@ -104,19 +133,20 @@ func (p *Pool) Run(x *tensor.Matrix) *tensor.Matrix {
 			defer wg.Done()
 			p.locks[i].Lock()
 			defer p.locks[i].Unlock()
-			outs[i] = p.replicas[i].Predict(x)
+			outs[i] = fwd(p.replicas[i], x)
 		}(i)
 	}
 	wg.Wait()
 
 	// Average into a fresh matrix: outs[0] aliases replica 0's cached
 	// final-layer activation (nn.Sigmoid keeps the matrix it returns for
-	// the backward pass), so summing in place would corrupt a model that
-	// is later trained or evaluated.
+	// the backward pass — both the decoder and the inverse net end in
+	// one), so summing in place would corrupt a model that is later
+	// trained or evaluated.
 	sum := outs[0].Clone()
 	for _, o := range outs[1:] {
 		tensor.Add(sum, sum, o)
 	}
 	tensor.Scale(sum, 1/float32(len(p.replicas)))
-	return sum
+	return sum, nil
 }

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -42,10 +44,42 @@ func TestCheckpointRoundTripBitwise(t *testing.T) {
 	x := testBatch(6)
 	want := model.Predict(x)
 	for rep := 0; rep < pool.Replicas(); rep++ { // round-robin hits both
-		got := pool.Run(x)
+		got, err := pool.Run(MethodPredict, x)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !got.Equal(want) {
 			t.Fatalf("replica pass %d: reloaded prediction differs from in-memory model", rep)
 		}
+	}
+	// The inverse pass round-trips the same way.
+	wantInv := model.Invert(x)
+	gotInv, err := pool.Run(MethodInvert, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotInv.Equal(wantInv) {
+		t.Fatal("reloaded invert differs from in-memory model")
+	}
+}
+
+// TestPoolDims pins the method vocabulary the registry and HTTP layer
+// route on.
+func TestPoolDims(t *testing.T) {
+	cfg := testModelCfg()
+	pool, err := NewPool([]*cyclegan.Surrogate{cyclegan.New(cfg, 3)}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := pool.Dims()
+	if d := dims[MethodPredict]; d.In != jag.InputDim || d.Out != cfg.Geometry.OutputDim() {
+		t.Fatalf("predict dims = %+v", d)
+	}
+	if d := dims[MethodInvert]; d.In != jag.InputDim || d.Out != jag.InputDim {
+		t.Fatalf("invert dims = %+v", d)
+	}
+	if _, err := pool.Run("embed", testBatch(1)); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("unknown method error = %v, want ErrUnknownMethod", err)
 	}
 }
 
@@ -61,13 +95,28 @@ func TestPoolEnsembleAverages(t *testing.T) {
 	}
 
 	x := testBatch(4)
-	got := pool.Run(x)
+	got, err := pool.Run(MethodPredict, x)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ya, yb := a.Predict(x), b.Predict(x)
 	want := tensor.New(ya.Rows, ya.Cols)
 	tensor.Add(want, ya, yb)
 	tensor.Scale(want, 0.5)
 	if !got.ApproxEqual(want, 1e-6) {
 		t.Fatal("ensemble output is not the replica mean")
+	}
+
+	gotInv, err := pool.Run(MethodInvert, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := a.Invert(x), b.Invert(x)
+	wantInv := tensor.New(ia.Rows, ia.Cols)
+	tensor.Add(wantInv, ia, ib)
+	tensor.Scale(wantInv, 0.5)
+	if !gotInv.ApproxEqual(wantInv, 1e-6) {
+		t.Fatal("ensemble invert output is not the replica mean")
 	}
 }
 
@@ -89,7 +138,9 @@ func TestPoolEnsembleLeavesReplicasIntact(t *testing.T) {
 	}
 
 	x := testBatch(4)
-	pool.Run(x)
+	if _, err := pool.Run(MethodPredict, x); err != nil {
+		t.Fatal(err)
+	}
 	// Prime the twin's cached activations with the same forward pass
 	// replica a ran inside the ensemble.
 	twin.Predict(x)
@@ -129,7 +180,10 @@ func TestPoolEnsembleFromCheckpoints(t *testing.T) {
 		t.Fatalf("replicas = %d, want 2 (one per checkpoint in ensemble mode)", pool.Replicas())
 	}
 	x := testBatch(3)
-	got := pool.Run(x)
+	got, err := pool.Run(MethodPredict, x)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.Equal(models[0].Predict(x)) || got.Equal(models[1].Predict(x)) {
 		t.Fatal("ensemble output equals a single member")
 	}
@@ -168,6 +222,46 @@ func TestSpecRoundTrip(t *testing.T) {
 	}
 	if _, err := LoadSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing spec accepted")
+	}
+}
+
+// TestResolveSpec covers the three path shapes the -models flag
+// accepts: the spec file itself, a checkpoint path, and a directory
+// holding exactly one spec (ambiguous and empty directories error).
+func TestResolveSpec(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "model.ckpt")
+	// ResolveSpec stats the checkpoint path before looking for its
+	// sidecar, so the weights file must exist like it would on disk.
+	if err := os.WriteFile(ckpt, []byte("weights"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := ModelSpec{Model: testModelCfg(), Step: 9, Checkpoints: []string{"model.ckpt"}}
+	if err := SaveSpec(SpecPath(ckpt), spec); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{SpecPath(ckpt), ckpt, dir} {
+		got, err := ResolveSpec(path)
+		if err != nil {
+			t.Fatalf("ResolveSpec(%q): %v", path, err)
+		}
+		if got.Step != 9 || len(got.Checkpoints) != 1 || got.Checkpoints[0] != ckpt {
+			t.Fatalf("ResolveSpec(%q) = %+v", path, got)
+		}
+	}
+
+	if _, err := ResolveSpec(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Fatal("missing path resolved")
+	}
+	if _, err := ResolveSpec(t.TempDir()); err == nil {
+		t.Fatal("spec-less directory resolved")
+	}
+	if err := SaveSpec(filepath.Join(dir, "second.ckpt.spec.json"), spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResolveSpec(dir); err == nil {
+		t.Fatal("ambiguous directory resolved")
 	}
 }
 

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps model names to independently configured Servers — one
+// process serving several surrogates (per-geometry, per-campaign, or
+// top-k ensembles side by side), each with its own pool, batching
+// queues, cache, and stats. The first registered model is the default
+// unless SetDefault overrides it; the default is what the deprecated
+// unversioned endpoints (/predict, /stats) answer for.
+//
+// Registration is expected at startup; Get is safe for concurrent use
+// with late Register calls (e.g. a future warm-reload path).
+type Registry struct {
+	mu      sync.RWMutex
+	servers map[string]*Server
+	def     string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{servers: make(map[string]*Server)}
+}
+
+// validModelName reports whether name is usable as the {name} path
+// segment of the v1 API: non-empty, URL-safe without escaping, and
+// unambiguous in logs (letters, digits, '.', '_', '-'; must start with
+// a letter or digit).
+func validModelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case i > 0 && (c == '.' || c == '_' || c == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a named server. The name must be URL-safe
+// ([A-Za-z0-9][A-Za-z0-9._-]*) and not already taken. The first
+// registered server becomes the default.
+func (r *Registry) Register(name string, s *Server) error {
+	if !validModelName(name) {
+		return fmt.Errorf("serve: invalid model name %q", name)
+	}
+	if s == nil {
+		return fmt.Errorf("serve: nil server for model %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.servers[name]; ok {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.servers[name] = s
+	if r.def == "" {
+		r.def = name
+	}
+	return nil
+}
+
+// SetDefault names the model the deprecated unversioned endpoints
+// answer for. The name must already be registered.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.servers[name]; !ok {
+		return fmt.Errorf("serve: cannot default to unregistered model %q", name)
+	}
+	r.def = name
+	return nil
+}
+
+// Get returns the named server.
+func (r *Registry) Get(name string) (*Server, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.servers[name]
+	return s, ok
+}
+
+// Default returns the default model's name and server; ok is false for
+// an empty registry.
+func (r *Registry) Default() (string, *Server, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.servers[r.def]
+	return r.def, s, ok
+}
+
+// Names returns the registered model names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.servers))
+	for n := range r.servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.servers)
+}
+
+// Close shuts down every registered server, draining their pipelines.
+func (r *Registry) Close() {
+	r.mu.RLock()
+	servers := make([]*Server, 0, len(r.servers))
+	for _, s := range r.servers {
+		servers = append(servers, s)
+	}
+	r.mu.RUnlock()
+	for _, s := range servers {
+		s.Close()
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/cyclegan"
+)
+
+// newNamedServer builds a single-replica server for registry tests.
+func newNamedServer(t *testing.T, seed int64) *Server {
+	t.Helper()
+	pool, err := NewPool([]*cyclegan.Surrogate{cyclegan.New(testModelCfg(), seed)}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(pool, Config{MaxBatch: 4})
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestRegistryRegister covers naming rules, duplicates, and lookup.
+func TestRegistryRegister(t *testing.T) {
+	reg := NewRegistry()
+	a, b := newNamedServer(t, 1), newNamedServer(t, 2)
+	if err := reg.Register("jag", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("jag", b); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	for _, bad := range []string{"", "has space", "a/b", "-leading", "q?x"} {
+		if err := reg.Register(bad, b); err == nil {
+			t.Fatalf("invalid name %q accepted", bad)
+		}
+	}
+	if err := reg.Register("jag.top-2_v1", b); err != nil {
+		t.Fatalf("valid punctuated name rejected: %v", err)
+	}
+	if err := reg.Register("nil", nil); err == nil {
+		t.Fatal("nil server accepted")
+	}
+
+	if got, ok := reg.Get("jag"); !ok || got != a {
+		t.Fatal("Get returned the wrong server")
+	}
+	if _, ok := reg.Get("missing"); ok {
+		t.Fatal("Get found an unregistered model")
+	}
+	if names := reg.Names(); len(names) != 2 || names[0] != "jag" || names[1] != "jag.top-2_v1" {
+		t.Fatalf("Names = %v, want sorted pair", names)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", reg.Len())
+	}
+}
+
+// TestRegistryDefault pins default semantics: first registered wins
+// until SetDefault, which must name a registered model.
+func TestRegistryDefault(t *testing.T) {
+	reg := NewRegistry()
+	if _, _, ok := reg.Default(); ok {
+		t.Fatal("empty registry has a default")
+	}
+	a, b := newNamedServer(t, 1), newNamedServer(t, 2)
+	if err := reg.Register("first", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("second", b); err != nil {
+		t.Fatal(err)
+	}
+	if name, s, ok := reg.Default(); !ok || name != "first" || s != a {
+		t.Fatalf("default = %q, want first", name)
+	}
+	if err := reg.SetDefault("missing"); err == nil {
+		t.Fatal("SetDefault accepted an unregistered name")
+	}
+	if err := reg.SetDefault("second"); err != nil {
+		t.Fatal(err)
+	}
+	if name, s, ok := reg.Default(); !ok || name != "second" || s != b {
+		t.Fatalf("default = %q, want second", name)
+	}
+}
+
+// TestRegistryClose shuts every registered server down.
+func TestRegistryClose(t *testing.T) {
+	reg := NewRegistry()
+	a, b := newNamedServer(t, 1), newNamedServer(t, 2)
+	if err := reg.Register("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("b", b); err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+	if !a.Closed() || !b.Closed() {
+		t.Fatal("Close left a server running")
+	}
+}

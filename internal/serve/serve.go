@@ -1,26 +1,34 @@
-// Package serve turns a trained surrogate into an online prediction
+// Package serve turns trained surrogates into an online prediction
 // service — the deployment side of the paper's workflow, where the
-// generative model replaces the JAG simulator for downstream consumers.
+// generative model replaces the JAG simulator for downstream consumers:
+// forward prediction, inverse design, and bulk parameter sweeps.
 //
-// The core piece is a dynamic micro-batching queue: concurrent Predict
-// callers are coalesced into a single tensor.Matrix mini-batch, run
-// through one forward pass, and the result rows scattered back to their
-// callers. This is the serving-side twin of the ingest economics the
-// paper exploits with Merlin and bundle files (Section II-C): per-call
+// The core piece is a dynamic micro-batching queue: concurrent callers
+// are coalesced into a single tensor.Matrix mini-batch, run through one
+// forward pass, and the result rows scattered back to their callers.
+// This is the serving-side twin of the ingest economics the paper
+// exploits with Merlin and bundle files (Section II-C): per-call
 // overhead dominates tiny workloads, so amortizing it across a batch is
 // where the throughput lives. A batch is flushed when it reaches
 // MaxBatch requests or when the oldest queued request has waited
 // MaxDelay, whichever comes first.
 //
+// The pipeline serves any Model: a small interface exposing named
+// methods (a *Pool of cyclegan replicas serves "predict" and "invert")
+// with per-method tensor widths. Batches are keyed by method — each
+// method has its own queue and batch loop, so rows bound for different
+// forward passes never mix in one batch — while every method shares the
+// server's worker pool, cache, backpressure budget, and stats.
+//
 // Every request has a lifecycle: it carries a context.Context and a
-// Priority class. The queue keeps one lane per class and the batcher
-// drains Interactive strictly before Bulk, so design-space exploration
-// preempts background scans. At flush time rows whose context is
-// already cancelled or past its deadline are discarded before the
-// forward pass — a caller that gave up never costs model time — and
-// show up in the stats as expired/cancelled. The same Section II-C
-// lesson again: per-task overhead spent on work nobody is waiting for
-// is pure waste.
+// Priority class. Each method's queue keeps one lane per class and the
+// batcher drains Interactive strictly before Bulk, so design-space
+// exploration preempts background scans. At flush time rows whose
+// context is already cancelled or past its deadline are discarded
+// before the forward pass — a caller that gave up never costs model
+// time — and show up in the stats as expired/cancelled. The same
+// Section II-C lesson again: per-task overhead spent on work nobody is
+// waiting for is pure waste.
 //
 // Around the queue sit:
 //
@@ -29,18 +37,25 @@
 //     replica is guarded and replicas are what provide parallelism —
 //     with optional ensemble averaging across replicas loaded from
 //     different checkpoints (e.g. the top-k LTFB tournament finishers);
-//   - an LRU response cache (cache.go) keyed on quantized input
-//     parameters, exploiting that surrogate queries cluster around
-//     design points of interest;
+//   - a Registry (registry.go) mapping model names to independently
+//     configured Servers, each with its own pool, cache, lanes, and
+//     stats — one process serving several named models;
+//   - an LRU response cache (cache.go) keyed on (method, quantized
+//     input), exploiting that surrogate queries cluster around design
+//     points of interest;
 //   - backpressure: the number of in-flight requests is bounded by
-//     QueueDepth and excess callers fail fast with ErrOverloaded
-//     instead of queueing without bound;
+//     QueueDepth across all of a server's methods and lanes; excess
+//     callers fail fast with ErrOverloaded instead of queueing without
+//     bound;
 //   - instrumentation (stats.go) built on metrics.Meter: request
 //     latency, batch occupancy, throughput, cache hit/miss, overload
-//     and expired/cancelled counters, exposed as a JSON-friendly
-//     snapshot.
+//     and expired/cancelled counters, per-method request counts,
+//     exposed as a JSON-friendly snapshot.
 //
-// http.go adds the JSON transport used by cmd/jagserve.
+// http.go adds the versioned HTTP surface used by cmd/jagserve
+// (/v1/models, /v1/models/{name}/{method}, per-model stats) with both
+// JSON and binary tensor transports (wire.go); client.go is the matching
+// Go client.
 package serve
 
 import (
@@ -48,16 +63,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/jag"
 	"repro/internal/tensor"
 )
 
-// Errors returned by the Predict family.
+// Errors returned by the Call/Predict family.
 var (
 	// ErrOverloaded is returned when QueueDepth requests are already in
 	// flight; callers should back off and retry (HTTP 503).
@@ -71,6 +86,26 @@ var (
 	// ErrCancelled is returned when the request context was cancelled;
 	// like ErrExpired, a still-queued row never reaches the model.
 	ErrCancelled = errors.New("serve: request cancelled")
+	// ErrUnknownMethod is returned when a request names a method the
+	// model does not serve (HTTP 404).
+	ErrUnknownMethod = errors.New("serve: unknown method")
+	// ErrModelFailure wraps an error returned by the model's forward
+	// pass itself; the request was valid but the model could not answer
+	// it (HTTP 500).
+	ErrModelFailure = errors.New("serve: model failure")
+)
+
+// Names of the methods a *Pool-backed model serves. A Model may expose
+// any method names; these two are the conventional vocabulary of the
+// CycleGAN surrogate (http.go routes them as
+// /v1/models/{name}/predict and /v1/models/{name}/invert).
+const (
+	// MethodPredict is the forward surrogate: 5-D inputs to output
+	// bundles (scalars + images), Dec(F(x)).
+	MethodPredict = "predict"
+	// MethodInvert is the inverse surrogate: the self-consistency path
+	// G(F(x)), inferring the inputs a design point maps back to.
+	MethodInvert = "invert"
 )
 
 // Priority is a request's queue lane. The batcher drains Interactive
@@ -112,7 +147,29 @@ func ParsePriority(s string) (Priority, error) {
 	return 0, fmt.Errorf("serve: unknown priority %q (want interactive or bulk)", s)
 }
 
-// Config tunes the serving pipeline around a loaded Pool.
+// Dims describes the per-row input and output widths of one model
+// method.
+type Dims struct {
+	In  int `json:"in"`
+	Out int `json:"out"`
+}
+
+// Model is the serving pipeline's contract with a servable model. *Pool
+// is the canonical implementation; anything exposing fixed-width named
+// batch methods can stand behind a Server.
+type Model interface {
+	// Dims enumerates the model's methods and their per-row tensor
+	// widths. The key set is the method set and must be non-empty and
+	// fixed for the model's lifetime; NewServer snapshots it once.
+	Dims() map[string]Dims
+	// Run executes one batched forward pass of method on x (one request
+	// per row) and returns a matrix with the same number of rows. The
+	// queue never mixes methods in one batch, and Run must be safe for
+	// concurrent use — Server runs one Run call per worker in parallel.
+	Run(method string, x *tensor.Matrix) (*tensor.Matrix, error)
+}
+
+// Config tunes the serving pipeline around a loaded Model.
 type Config struct {
 	// MaxBatch is the largest number of requests coalesced into one
 	// forward pass (default 64).
@@ -121,12 +178,16 @@ type Config struct {
 	// partial batch is flushed (default 2ms). Latency floor vs batch
 	// occupancy is the serving trade-off this knob sets.
 	MaxDelay time.Duration
-	// QueueDepth bounds the number of in-flight requests across both
-	// priority lanes; further Predict calls fail with ErrOverloaded
-	// (default 4*MaxBatch).
+	// QueueDepth bounds the number of in-flight requests across all
+	// methods and priority lanes; further Call requests fail with
+	// ErrOverloaded (default 4*MaxBatch).
 	QueueDepth int
-	// CacheSize is the LRU response-cache capacity in entries; 0
-	// disables caching.
+	// Workers is the number of goroutines running forward passes; it is
+	// the server's parallel width. 0 uses the model's Replicas() if it
+	// has one (as *Pool does), else 1.
+	Workers int
+	// CacheSize is the LRU response-cache capacity in entries, shared
+	// across methods; 0 disables caching.
 	CacheSize int
 	// CacheQuantum is the grid step inputs are snapped to when forming
 	// cache keys (default 1e-6). Coarser grids trade exactness for hit
@@ -174,56 +235,126 @@ type request struct {
 	resp     chan result // buffered(1): the pipeline never blocks on an abandoned caller
 }
 
-// Server owns the micro-batching queue in front of a replica pool.
-type Server struct {
-	cfg   Config
-	pool  *Pool
-	cache *lru
-	stats *Stats
-
-	lanes    [numLanes]chan *request
-	batches  chan []*request
-	inflight atomic.Int64
-
-	mu     sync.RWMutex // guards closed vs in-progress queue sends
-	closed bool
-	wg     sync.WaitGroup
+// batch is one method-homogeneous set of requests bound for a single
+// forward pass.
+type batch struct {
+	method string
+	reqs   []*request
 }
 
-// NewServer starts the batcher and one worker per pool replica. Close
-// must be called to release them.
-func NewServer(pool *Pool, cfg Config) *Server {
+// methodQueue is one method's pair of priority lanes. Batches are keyed
+// by method: each queue has its own batch loop, so rows for different
+// methods never share a forward pass.
+type methodQueue struct {
+	lanes [numLanes]chan *request
+}
+
+// Server owns the micro-batching queues in front of a Model.
+type Server struct {
+	cfg     Config
+	model   Model
+	dims    map[string]Dims
+	methods []string // sorted
+	cache   *lru
+	stats   *Stats
+
+	queues   map[string]*methodQueue
+	batches  chan *batch
+	inflight atomic.Int64
+
+	loops  sync.WaitGroup // one batchLoop per method
+	mu     sync.RWMutex   // guards closed vs in-progress queue sends
+	closed bool
+	wg     sync.WaitGroup // workers + batches-channel closer
+}
+
+// NewServer starts one batch loop per model method and cfg.Workers
+// forward-pass workers. Close must be called to release them. The
+// model's method set must be non-empty with positive dims; NewServer
+// panics otherwise — a Model that cannot describe its own shapes is a
+// programming error, not a runtime condition.
+func NewServer(model Model, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Workers <= 0 {
+		if r, ok := model.(interface{ Replicas() int }); ok {
+			cfg.Workers = r.Replicas()
+		} else {
+			cfg.Workers = 1
+		}
+	}
+	src := model.Dims()
+	if len(src) == 0 {
+		panic("serve: model exposes no methods")
+	}
+	dims := make(map[string]Dims, len(src))
+	methods := make([]string, 0, len(src))
+	for m, d := range src {
+		if m == "" || d.In <= 0 || d.Out <= 0 {
+			panic(fmt.Sprintf("serve: model method %q has invalid dims %+v", m, d))
+		}
+		dims[m] = d
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
 	s := &Server{
 		cfg:     cfg,
-		pool:    pool,
+		model:   model,
+		dims:    dims,
+		methods: methods,
 		stats:   newStats(),
-		batches: make(chan []*request, pool.Replicas()),
-	}
-	for l := range s.lanes {
-		// Each lane holds QueueDepth so a send never blocks even if
-		// every in-flight request lands in one lane.
-		s.lanes[l] = make(chan *request, cfg.QueueDepth)
+		queues:  make(map[string]*methodQueue, len(dims)),
+		batches: make(chan *batch, cfg.Workers),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newLRU(cfg.CacheSize)
 	}
+	for _, m := range methods {
+		q := &methodQueue{}
+		for l := range q.lanes {
+			// Each lane holds QueueDepth so a send never blocks even if
+			// every in-flight request lands in one lane.
+			q.lanes[l] = make(chan *request, cfg.QueueDepth)
+		}
+		s.queues[m] = q
+		s.loops.Add(1)
+		go s.batchLoop(m, q)
+	}
+	// The batches channel has multiple senders (one loop per method);
+	// close it only after every loop has exited.
 	s.wg.Add(1)
-	go s.batchLoop()
-	// One worker per replica: a worker holds a whole batch through one
-	// forward pass, so replica count is the pipeline's parallel width.
-	for w := 0; w < pool.Replicas(); w++ {
+	go func() {
+		defer s.wg.Done()
+		s.loops.Wait()
+		close(s.batches)
+	}()
+	// Workers hold a whole batch through one forward pass, so the
+	// worker count is the pipeline's parallel width.
+	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.workerLoop()
 	}
 	return s
 }
 
-// Pool returns the replica pool the server dispatches to.
-func (s *Server) Pool() *Pool { return s.pool }
+// Model returns the model the server dispatches to.
+func (s *Server) Model() Model { return s.model }
 
-// OutputDim returns the width of prediction vectors.
-func (s *Server) OutputDim() int { return s.pool.OutputDim() }
+// Methods returns the model's method names in sorted order.
+func (s *Server) Methods() []string { return append([]string(nil), s.methods...) }
+
+// Dims returns a copy of the per-method tensor widths.
+func (s *Server) Dims() map[string]Dims {
+	out := make(map[string]Dims, len(s.dims))
+	for m, d := range s.dims {
+		out[m] = d
+	}
+	return out
+}
+
+// OutputDim returns the width of "predict" result rows, or 0 if the
+// model has no predict method. Kept for the single-model callers that
+// predate method dispatch.
+func (s *Server) OutputDim() int { return s.dims[MethodPredict].Out }
 
 // Closed reports whether Close has been called.
 func (s *Server) Closed() bool {
@@ -232,10 +363,10 @@ func (s *Server) Closed() bool {
 	return s.closed
 }
 
-// Predict returns the surrogate's output bundle for one 5-D input at
-// Interactive priority with no deadline. See PredictContext.
+// Predict returns the surrogate's output bundle for one input at
+// Interactive priority with no deadline. See Call.
 func (s *Server) Predict(x []float32) ([]float32, error) {
-	return s.PredictContext(context.Background(), x)
+	return s.Call(context.Background(), MethodPredict, x, Interactive)
 }
 
 // PredictContext is Predict with a caller-controlled lifecycle: if ctx
@@ -243,21 +374,32 @@ func (s *Server) Predict(x []float32) ([]float32, error) {
 // call returns ErrCancelled/ErrExpired and the stale row is discarded
 // at flush time without costing a forward pass.
 func (s *Server) PredictContext(ctx context.Context, x []float32) ([]float32, error) {
-	return s.PredictPriority(ctx, x, Interactive)
+	return s.Call(ctx, MethodPredict, x, Interactive)
 }
 
-// PredictPriority is PredictContext with an explicit queue lane. It
-// blocks until the batched forward pass completes or ctx ends, fails
-// fast with ErrOverloaded under backpressure, and serves repeated
-// inputs from the LRU cache when one is configured. The returned slice
-// is the caller's on a miss; on a cache hit it is the shared cached row
-// and must not be mutated.
+// PredictPriority is PredictContext with an explicit queue lane.
 func (s *Server) PredictPriority(ctx context.Context, x []float32, class Priority) ([]float32, error) {
+	return s.Call(ctx, MethodPredict, x, class)
+}
+
+// Call submits one row to the named method's batching queue and blocks
+// until the batched forward pass completes or ctx ends. It fails fast
+// with ErrOverloaded under backpressure, with ErrUnknownMethod for a
+// method outside the model's set, and serves repeated inputs from the
+// LRU cache when one is configured. The returned slice is the caller's
+// on a miss; on a cache hit it is the shared cached row and must not be
+// mutated.
+func (s *Server) Call(ctx context.Context, method string, x []float32, class Priority) ([]float32, error) {
 	if class < 0 || class >= numLanes {
 		return nil, fmt.Errorf("serve: unknown priority %d", class)
 	}
-	if len(x) != jag.InputDim {
-		return nil, fmt.Errorf("serve: input dim %d, want %d", len(x), jag.InputDim)
+	q, ok := s.queues[method]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (model serves: %s)",
+			ErrUnknownMethod, method, strings.Join(s.methods, ", "))
+	}
+	if want := s.dims[method].In; len(x) != want {
+		return nil, fmt.Errorf("serve: %s input dim %d, want %d", method, len(x), want)
 	}
 	for _, v := range x {
 		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
@@ -271,7 +413,9 @@ func (s *Server) PredictPriority(ctx context.Context, x []float32, class Priorit
 	}
 	var key string
 	if s.cache != nil {
-		key = quantKey(x, s.cfg.CacheQuantum)
+		// The method is part of the key: predict and invert answers for
+		// the same design point must never collide.
+		key = method + "\x00" + quantKey(x, s.cfg.CacheQuantum)
 		if y, ok := s.cache.get(key); ok {
 			s.stats.cacheHit()
 			return y, nil
@@ -291,7 +435,7 @@ func (s *Server) PredictPriority(ctx context.Context, x []float32, class Priorit
 		s.inflight.Add(-1)
 		return nil, ErrClosed
 	}
-	s.lanes[class] <- req // cannot block: inflight <= QueueDepth == cap(lane)
+	q.lanes[class] <- req // cannot block: inflight <= QueueDepth == cap(lane)
 	s.mu.RUnlock()
 
 	// Once admitted, the pipeline owns the request: the worker replies
@@ -398,19 +542,19 @@ func recv(qi, qb *chan *request, timeout <-chan time.Time) (*request, recvState)
 	}
 }
 
-// batchLoop coalesces queued requests into batches: flush at MaxBatch
-// occupancy or MaxDelay after the first request of the batch arrived.
-// The interactive lane is drained before the bulk lane at every pull,
-// so a bulk backlog can delay interactive work by at most one batch.
-// Between batches the front of the bulk lane is reaped of context-dead
-// rows — otherwise sustained interactive traffic could starve the bulk
-// lane and expired bulk rows would pin QueueDepth slots forever,
-// converting capacity into spurious ErrOverloaded. An alive row pulled
-// by the reap leads the next batch, so the bulk lane always advances.
-func (s *Server) batchLoop() {
-	defer s.wg.Done()
-	defer close(s.batches)
-	qi, qb := s.lanes[Interactive], s.lanes[Bulk]
+// batchLoop coalesces one method's queued requests into batches: flush
+// at MaxBatch occupancy or MaxDelay after the first request of the
+// batch arrived. The interactive lane is drained before the bulk lane
+// at every pull, so a bulk backlog can delay interactive work by at
+// most one batch. Between batches the front of the bulk lane is reaped
+// of context-dead rows — otherwise sustained interactive traffic could
+// starve the bulk lane and expired bulk rows would pin QueueDepth slots
+// forever, converting capacity into spurious ErrOverloaded. An alive
+// row pulled by the reap leads the next batch, so the bulk lane always
+// advances.
+func (s *Server) batchLoop(method string, q *methodQueue) {
+	defer s.loops.Done()
+	qi, qb := q.lanes[Interactive], q.lanes[Bulk]
 	// Go 1.23+ timer semantics: Stop/Reset discard any pending fire, so
 	// no manual channel draining is needed between batches.
 	timer := time.NewTimer(time.Hour)
@@ -438,7 +582,7 @@ func (s *Server) batchLoop() {
 			pending = append(pending, r)
 		}
 		timer.Stop()
-		s.batches <- pending
+		s.batches <- &batch{method: method, reqs: pending}
 		carry = s.reapBulk(&qb)
 		if carry == nil && qi == nil && qb == nil {
 			return
@@ -484,14 +628,14 @@ func (s *Server) reapBulk(qb *chan *request) *request {
 }
 
 // workerLoop discards stale rows, assembles the live remainder into one
-// matrix, runs it through the pool, and scatters the rows back to the
-// waiting callers. A batch whose rows all went stale skips the forward
-// pass entirely.
+// matrix, runs it through the model's named method, and scatters the
+// rows back to the waiting callers. A batch whose rows all went stale
+// skips the forward pass entirely.
 func (s *Server) workerLoop() {
 	defer s.wg.Done()
-	for reqs := range s.batches {
-		live := reqs[:0]
-		for _, r := range reqs {
+	for b := range s.batches {
+		live := b.reqs[:0]
+		for _, r := range b.reqs {
 			if err := r.ctx.Err(); err != nil {
 				r.resp <- result{err: s.dropStale(err)}
 				s.inflight.Add(-1)
@@ -502,7 +646,7 @@ func (s *Server) workerLoop() {
 		if len(live) == 0 {
 			continue
 		}
-		x := tensor.New(len(live), jag.InputDim)
+		x := tensor.New(len(live), s.dims[b.method].In)
 		for i, r := range live {
 			copy(x.Row(i), r.x)
 		}
@@ -512,7 +656,19 @@ func (s *Server) workerLoop() {
 			for start := time.Now(); time.Since(start) < s.cfg.PassOverhead; {
 			}
 		}
-		y := s.pool.Run(x)
+		y, err := s.model.Run(b.method, x)
+		if err != nil {
+			// The model rejected a structurally valid batch: fail its
+			// rows, not the server. The method set was checked at
+			// admission, so this is an internal model failure.
+			err = fmt.Errorf("%w: %v", ErrModelFailure, err)
+			s.stats.failure(len(live))
+			for _, r := range live {
+				r.resp <- result{err: err}
+				s.inflight.Add(-1)
+			}
+			continue
+		}
 		now := time.Now()
 		for i, r := range live {
 			// Copy the row out of the batch matrix: a view would pin
@@ -520,7 +676,7 @@ func (s *Server) workerLoop() {
 			// result.
 			out := make([]float32, y.Cols)
 			copy(out, y.Row(i))
-			s.stats.request(now.Sub(r.enqueued))
+			s.stats.request(b.method, now.Sub(r.enqueued))
 			r.resp <- result{y: out}
 			s.inflight.Add(-1)
 		}
@@ -531,9 +687,9 @@ func (s *Server) workerLoop() {
 // Stats returns a consistent snapshot of the serving counters.
 func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot() }
 
-// Close drains the pipeline and releases the batcher and workers.
+// Close drains the pipeline and releases the batch loops and workers.
 // In-flight requests complete (stale ones are still dropped at flush);
-// concurrent and later Predict calls return ErrClosed.
+// concurrent and later Call requests return ErrClosed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -541,8 +697,10 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	for _, q := range s.lanes {
-		close(q)
+	for _, q := range s.queues {
+		for _, lane := range q.lanes {
+			close(lane)
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()

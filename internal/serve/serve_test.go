@@ -71,6 +71,148 @@ func TestPredictMatchesModel(t *testing.T) {
 	}
 }
 
+// TestCallInvert checks that the invert method is dispatched to the
+// model's inverse pass: with MaxBatch 1 the served row is bitwise equal
+// to a direct G(F(x)) pass of an identically-seeded reference model.
+func TestCallInvert(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 1})
+	ref := cyclegan.New(testModelCfg(), 42)
+
+	x := testInput(4)
+	got, err := s.Call(context.Background(), MethodInvert, x, Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != jag.InputDim {
+		t.Fatalf("invert output dim %d, want %d", len(got), jag.InputDim)
+	}
+	xm := tensor.New(1, jag.InputDim)
+	copy(xm.Row(0), x)
+	want := ref.Invert(xm)
+	for j, v := range got {
+		if v != want.At(0, j) {
+			t.Fatalf("invert[%d] = %v, want %v", j, v, want.At(0, j))
+		}
+	}
+}
+
+// TestCallUnknownMethod checks admission-time method validation.
+func TestCallUnknownMethod(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	if _, err := s.Call(context.Background(), "embed", testInput(0), Interactive); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("unknown method error = %v, want ErrUnknownMethod", err)
+	}
+}
+
+// TestMethodsNeverShareBatch floods predict and invert concurrently
+// with MaxBatch far above the row count: every reply must have its own
+// method's width (a mixed batch would scatter rows of the wrong shape)
+// and the per-method stats must account for both streams.
+func TestMethodsNeverShareBatch(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 64, MaxDelay: time.Millisecond})
+	outDim := jag.Tiny8.OutputDim()
+
+	const per = 24
+	var wg sync.WaitGroup
+	for i := 0; i < per; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			y, err := s.Call(context.Background(), MethodPredict, testInput(i), Interactive)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(y) != outDim {
+				t.Errorf("predict row width %d, want %d", len(y), outDim)
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			y, err := s.Call(context.Background(), MethodInvert, testInput(i), Interactive)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(y) != jag.InputDim {
+				t.Errorf("invert row width %d, want %d", len(y), jag.InputDim)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	snap := s.Stats()
+	if snap.Requests != 2*per {
+		t.Fatalf("requests = %d, want %d", snap.Requests, 2*per)
+	}
+	if snap.MethodRequests[MethodPredict] != per || snap.MethodRequests[MethodInvert] != per {
+		t.Fatalf("method split = %+v, want %d each", snap.MethodRequests, per)
+	}
+}
+
+// TestInvertCacheIsolated pins the method prefix in cache keys: the
+// same design point served through predict and invert must produce two
+// distinct cache entries, never one method's answer for the other.
+func TestInvertCacheIsolated(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxBatch: 1, CacheSize: 8})
+	x := testInput(6)
+	fwd, err := s.Call(context.Background(), MethodPredict, x, Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := s.Call(context.Background(), MethodInvert, x, Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fwd) == len(inv) {
+		t.Fatalf("test geometry degenerate: predict and invert widths both %d", len(fwd))
+	}
+	inv2, err := s.Call(context.Background(), MethodInvert, x, Interactive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inv2) != len(inv) {
+		t.Fatal("cached invert row has the wrong method's width")
+	}
+	snap := s.Stats()
+	if snap.CacheMisses != 2 || snap.CacheHits != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/2", snap.CacheHits, snap.CacheMisses)
+	}
+}
+
+// failingModel is a non-Pool Model whose forward pass always errors —
+// it exercises both the custom-Model path (worker count defaults to 1
+// without a Replicas method) and the ErrModelFailure plumbing.
+type failingModel struct{}
+
+func (failingModel) Dims() map[string]Dims {
+	return map[string]Dims{MethodPredict: {In: 2, Out: 3}}
+}
+
+func (failingModel) Run(method string, x *tensor.Matrix) (*tensor.Matrix, error) {
+	return nil, errors.New("synthetic pass failure")
+}
+
+// TestModelFailure checks that a Run error fails the batch's rows with
+// ErrModelFailure — and is visible in the stats, so a failing model
+// cannot masquerade as an idle one.
+func TestModelFailure(t *testing.T) {
+	s := NewServer(failingModel{}, Config{MaxBatch: 1})
+	t.Cleanup(s.Close)
+	_, err := s.Call(context.Background(), MethodPredict, []float32{0.1, 0.2}, Interactive)
+	if !errors.Is(err, ErrModelFailure) {
+		t.Fatalf("Call error = %v, want ErrModelFailure", err)
+	}
+	snap := s.Stats()
+	if snap.ModelFailures != 1 {
+		t.Fatalf("model failures = %d, want 1", snap.ModelFailures)
+	}
+	if snap.Requests != 0 {
+		t.Fatalf("failed row counted as a served request: %+v", snap)
+	}
+}
+
 // TestFlushOnFull submits exactly MaxBatch concurrent requests under a
 // long deadline: the batch must flush on occupancy, in one forward pass.
 func TestFlushOnFull(t *testing.T) {
@@ -495,16 +637,17 @@ func TestPriorityInteractiveFirst(t *testing.T) {
 	// out of the lane, nothing pulls from the lanes for the rest of the
 	// clog window, so C and D park there and the batcher's next pull
 	// must take interactive D before bulk C.
+	lanes := &s.queues[MethodPredict].lanes
 	submit("A", Bulk, 0)
 	submit("B", Bulk, 1)
 	submit("E", Bulk, 2)
 	waitFor("cloggers to fill the pipeline", func() bool {
-		return s.inflight.Load() == 3 && len(s.lanes[Bulk]) == 0
+		return s.inflight.Load() == 3 && len(lanes[Bulk]) == 0
 	})
 	submit("C", Bulk, 3)
-	waitFor("C to park in the bulk lane", func() bool { return len(s.lanes[Bulk]) == 1 })
+	waitFor("C to park in the bulk lane", func() bool { return len(lanes[Bulk]) == 1 })
 	submit("D", Interactive, 4)
-	waitFor("D to park in the interactive lane", func() bool { return len(s.lanes[Interactive]) == 1 })
+	waitFor("D to park in the interactive lane", func() bool { return len(lanes[Interactive]) == 1 })
 	wg.Wait()
 
 	pos := make(map[string]int, len(order))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/cyclegan"
 )
@@ -40,6 +41,37 @@ func SaveSpec(path string, spec ModelSpec) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 	return nil
+}
+
+// ResolveSpec loads a ModelSpec from a flexible path — the value of
+// cmd/jagserve's -models name=path flag. path may be the spec file
+// itself (*.spec.json), a checkpoint path (whose sidecar is loaded), or
+// a directory containing exactly one *.spec.json (the shape ltfbtrain
+// -checkpoint leaves behind).
+func ResolveSpec(path string) (ModelSpec, error) {
+	info, err := os.Stat(path)
+	switch {
+	case err != nil:
+		return ModelSpec{}, fmt.Errorf("serve: %w", err)
+	case info.IsDir():
+		matches, err := filepath.Glob(filepath.Join(path, "*.spec.json"))
+		if err != nil {
+			return ModelSpec{}, fmt.Errorf("serve: %w", err)
+		}
+		switch len(matches) {
+		case 0:
+			return ModelSpec{}, fmt.Errorf("serve: no *.spec.json in %s", path)
+		case 1:
+			return LoadSpec(matches[0])
+		default:
+			return ModelSpec{}, fmt.Errorf("serve: %s holds %d specs (%s); name one explicitly",
+				path, len(matches), strings.Join(matches, ", "))
+		}
+	case strings.HasSuffix(path, ".spec.json"):
+		return LoadSpec(path)
+	default:
+		return LoadSpec(SpecPath(path))
+	}
 }
 
 // LoadSpec reads and validates a spec written by SaveSpec.

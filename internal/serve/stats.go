@@ -13,9 +13,11 @@ type Stats struct {
 	mu          sync.Mutex
 	start       time.Time
 	requests    int64
+	perMethod   map[string]int64
 	overloads   int64
 	expired     int64
 	cancelled   int64
+	failures    int64
 	cacheHits   int64
 	cacheMisses int64
 	latency     metrics.Meter // milliseconds, enqueue to scatter
@@ -23,12 +25,16 @@ type Stats struct {
 }
 
 // newStats starts the throughput clock.
-func newStats() *Stats { return &Stats{start: time.Now()} }
+func newStats() *Stats {
+	return &Stats{start: time.Now(), perMethod: make(map[string]int64)}
+}
 
-// request records one completed prediction and its queue-to-reply latency.
-func (s *Stats) request(d time.Duration) {
+// request records one completed row of the named method and its
+// queue-to-reply latency.
+func (s *Stats) request(method string, d time.Duration) {
 	s.mu.Lock()
 	s.requests++
+	s.perMethod[method]++
 	s.latency.Add(float64(d) / float64(time.Millisecond))
 	s.mu.Unlock()
 }
@@ -63,6 +69,16 @@ func (s *Stats) cancel() {
 	s.mu.Unlock()
 }
 
+// failure counts n rows failed by an error from the model's own
+// forward pass — the only error class that is the model's fault rather
+// than the caller's or the queue's, so it gets its own counter and
+// cannot hide as "no traffic".
+func (s *Stats) failure(n int) {
+	s.mu.Lock()
+	s.failures += int64(n)
+	s.mu.Unlock()
+}
+
 // cacheHit counts one request answered from the LRU cache.
 func (s *Stats) cacheHit() {
 	s.mu.Lock()
@@ -80,19 +96,25 @@ func (s *Stats) cacheMiss() {
 // StatsSnapshot is a consistent copy of the serving counters, shaped for
 // the /stats JSON endpoint.
 type StatsSnapshot struct {
-	Requests     int64   `json:"requests"`
-	Batches      int     `json:"batches"`
-	Overloads    int64   `json:"overloads"`
-	Expired      int64   `json:"expired"`
-	Cancelled    int64   `json:"cancelled"`
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	MeanBatch    float64 `json:"mean_batch"`
-	MaxBatch     float64 `json:"max_batch"`
-	MeanLatMs    float64 `json:"mean_latency_ms"`
-	MaxLatMs     float64 `json:"max_latency_ms"`
-	ThroughputPS float64 `json:"throughput_per_sec"`
-	UptimeSec    float64 `json:"uptime_sec"`
+	Requests int64 `json:"requests"`
+	// MethodRequests splits Requests by model method ("predict",
+	// "invert", ...); methods never served are absent.
+	MethodRequests map[string]int64 `json:"method_requests,omitempty"`
+	Batches        int              `json:"batches"`
+	Overloads      int64            `json:"overloads"`
+	Expired        int64            `json:"expired"`
+	Cancelled      int64            `json:"cancelled"`
+	// ModelFailures counts rows failed by the model's forward pass
+	// itself (ErrModelFailure, HTTP 500).
+	ModelFailures int64   `json:"model_failures"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	MeanBatch     float64 `json:"mean_batch"`
+	MaxBatch      float64 `json:"max_batch"`
+	MeanLatMs     float64 `json:"mean_latency_ms"`
+	MaxLatMs      float64 `json:"max_latency_ms"`
+	ThroughputPS  float64 `json:"throughput_per_sec"`
+	UptimeSec     float64 `json:"uptime_sec"`
 }
 
 // snapshot captures the counters at one instant.
@@ -100,19 +122,28 @@ func (s *Stats) snapshot() StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	up := time.Since(s.start).Seconds()
+	var methods map[string]int64
+	if len(s.perMethod) > 0 {
+		methods = make(map[string]int64, len(s.perMethod))
+		for k, v := range s.perMethod {
+			methods[k] = v
+		}
+	}
 	snap := StatsSnapshot{
-		Requests:    s.requests,
-		Batches:     s.batchOccup.Count(),
-		Overloads:   s.overloads,
-		Expired:     s.expired,
-		Cancelled:   s.cancelled,
-		CacheHits:   s.cacheHits,
-		CacheMisses: s.cacheMisses,
-		MeanBatch:   s.batchOccup.Mean(),
-		MaxBatch:    s.batchOccup.Max(),
-		MeanLatMs:   s.latency.Mean(),
-		MaxLatMs:    s.latency.Max(),
-		UptimeSec:   up,
+		Requests:       s.requests,
+		MethodRequests: methods,
+		Batches:        s.batchOccup.Count(),
+		Overloads:      s.overloads,
+		Expired:        s.expired,
+		Cancelled:      s.cancelled,
+		ModelFailures:  s.failures,
+		CacheHits:      s.cacheHits,
+		CacheMisses:    s.cacheMisses,
+		MeanBatch:      s.batchOccup.Mean(),
+		MaxBatch:       s.batchOccup.Max(),
+		MeanLatMs:      s.latency.Mean(),
+		MaxLatMs:       s.latency.Max(),
+		UptimeSec:      up,
 	}
 	if up > 0 {
 		snap.ThroughputPS = float64(s.requests+s.cacheHits) / up

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/jag"
+)
+
+// wireBatch builds an n-row batch of width cols with a deterministic
+// value pattern covering negatives, zeros, and subnormal-ish floats.
+func wireBatch(n, cols int) [][]float32 {
+	rows := make([][]float32, n)
+	for i := range rows {
+		rows[i] = make([]float32, cols)
+		for j := range rows[i] {
+			rows[i][j] = float32(i*cols+j%17)/16 - 0.5
+		}
+	}
+	return rows
+}
+
+// TestWireRoundTrip checks bitwise fidelity through encode/decode,
+// including NaN payloads (the transport must not canonicalize values —
+// validation is the serving layer's job).
+func TestWireRoundTrip(t *testing.T) {
+	rows := wireBatch(5, 9)
+	rows[2][3] = float32(math.NaN())
+	rows[4][0] = float32(math.Inf(-1))
+	buf, err := EncodeFrame(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != frameHeader+4*5*9 {
+		t.Fatalf("frame length %d, want %d", len(buf), frameHeader+4*5*9)
+	}
+	got, err := DecodeFrame(bytes.NewReader(buf), 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if math.Float32bits(got[i][j]) != math.Float32bits(rows[i][j]) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, got[i][j], rows[i][j])
+			}
+		}
+	}
+
+	// Zero-row frames round-trip too (the handler rejects them later as
+	// "no inputs", but the codec itself is total).
+	buf, err = EncodeFrame(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeFrame(bytes.NewReader(buf), 0, 0); err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: %v rows, err %v", len(got), err)
+	}
+}
+
+// TestWireEncodeRagged rejects batches whose rows disagree on width.
+func TestWireEncodeRagged(t *testing.T) {
+	if _, err := EncodeFrame([][]float32{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged batch encoded")
+	}
+}
+
+// TestWireDecodeMalformed covers every validation branch: each corrupt
+// frame must produce an error, never a panic or a bogus matrix.
+func TestWireDecodeMalformed(t *testing.T) {
+	good, err := EncodeFrame(wireBatch(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func(b []byte) []byte, wantSub string) {
+		t.Helper()
+		b := mutate(append([]byte(nil), good...))
+		_, err := DecodeFrame(bytes.NewReader(b), 0, 0)
+		if err == nil {
+			t.Fatalf("%s: decoded without error", name)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q lacks %q", name, err, wantSub)
+		}
+	}
+
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "magic")
+	corrupt("bad version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[4:], 99)
+		return b
+	}, "version")
+	corrupt("truncated header", func(b []byte) []byte { return b[:7] }, "header")
+	corrupt("truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, "truncated")
+	corrupt("row/col overflow", func(b []byte) []byte {
+		// 2^32-1 rows x 2^32-1 cols: the uint32 product would wrap to 1,
+		// but the uint64 size check must refuse before allocating.
+		binary.LittleEndian.PutUint32(b[8:], math.MaxUint32)
+		binary.LittleEndian.PutUint32(b[12:], math.MaxUint32)
+		return b
+	}, "too large")
+
+	// Shape limits enforced against the caller's expectation.
+	if _, err := DecodeFrame(bytes.NewReader(good), 5, 0); err == nil {
+		t.Fatal("wrong column count accepted")
+	}
+	if _, err := DecodeFrame(bytes.NewReader(good), 0, 2); err == nil {
+		t.Fatal("row limit not enforced")
+	}
+}
+
+// benchWireBatch is a Default64-geometry prediction batch: 16 rows of
+// the full output bundle (15 scalars + 3 views x 4 channels at 64x64),
+// the response payload whose JSON cost motivated the binary transport.
+func benchWireBatch() [][]float32 {
+	cols := jag.Default64.OutputDim()
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float32, 16)
+	for i := range rows {
+		rows[i] = make([]float32, cols)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float32()
+		}
+	}
+	return rows
+}
+
+// BenchmarkWireBinaryVsJSON/binary and /json encode and decode the same
+// Default64-geometry batch through each transport; the ns/op ratio is
+// the wire-format speedup (bytes/op reports the encoded payload size).
+func BenchmarkWireBinaryVsJSON(b *testing.B) {
+	rows := benchWireBatch()
+
+	b.Run("binary", func(b *testing.B) {
+		buf, err := EncodeFrame(rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(buf)), "payload_bytes")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc, err := EncodeFrame(rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := DecodeFrame(bytes.NewReader(enc), 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("json", func(b *testing.B) {
+		buf, err := json.Marshal(rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(buf)), "payload_bytes")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			enc, err := json.Marshal(rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out [][]float32
+			if err := json.Unmarshal(enc, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
