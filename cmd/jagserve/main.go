@@ -22,12 +22,22 @@
 // Default64-geometry images ship as raw little-endian float32 tensors
 // instead of JSON arrays.
 //
+// With -watch, each model's spec/checkpoint path is polled (every
+// -reload-interval) and a newly written checkpoint — e.g. the next
+// LTFB tournament winner saved by a concurrently running ltfbtrain —
+// is hot-swapped in without dropping traffic: the replacement pool is
+// canary-tested with one forward pass per method before promotion, the
+// old model drains its in-flight batches and closes, and a corrupt or
+// NaN-weight checkpoint is rejected while the old model keeps serving
+// (the rejection shows up under "reload" in /healthz). Per-model stats
+// and /healthz report the serving generation (1 + completed reloads).
+//
 // Endpoints:
 //
-//	GET  /v1/models                  list models: methods, dims, readiness
+//	GET  /v1/models                  list models: methods, dims, readiness, generation
 //	POST /v1/models/{name}/{method}  batched call, JSON or binary tensor body
 //	GET  /v1/models/{name}/stats     per-model latency/occupancy/cache counters
-//	GET  /healthz                    per-model readiness; 503 if any model closed
+//	GET  /healthz                    per-model readiness + reload state; 503 if any model closed
 //	POST /predict                    deprecated alias: default model's "predict"
 //	GET  /stats                      deprecated alias: default model's counters
 //
@@ -35,6 +45,7 @@
 //
 //	ltfbtrain -trainers 4 -checkpoint ckpts/fwd.ckpt -top 2
 //	jagserve -models jag=ckpts/fwd.ckpt -models jag-top2=ckpts2/ -ensemble
+//	jagserve -models jag=ckpts/fwd.ckpt -watch -reload-interval 5s
 //	jagserve -checkpoint model.ckpt -replicas 4     # legacy: registers "default"
 //	curl -d '{"input":[0.5,0.5,0.5,0.5,0.5],"scalars_only":true}' \
 //	    localhost:8080/v1/models/jag/predict
@@ -56,6 +67,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -66,6 +78,23 @@ import (
 // modelFlag is one parsed -models entry.
 type modelFlag struct {
 	name, path string
+}
+
+// samePaths reports whether a and b name the same files in the same
+// order, comparing absolute forms so a relative -checkpoint value
+// matches its spec-resolved absolute entry.
+func samePaths(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		pa, errA := filepath.Abs(a[i])
+		pb, errB := filepath.Abs(b[i])
+		if errA != nil || errB != nil || pa != pb {
+			return false
+		}
+	}
+	return true
 }
 
 func main() {
@@ -91,13 +120,22 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "max in-flight requests per model before 503 (0 = 4*max-batch)")
 	cacheSize := flag.Int("cache-size", 1024, "per-model LRU response-cache entries (0 disables)")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline; rows still queued past it are dropped without a forward pass (0 disables; requests override via deadline_ms)")
+	watch := flag.Bool("watch", false, "watch each model's spec/checkpoint path and hot-swap newly written checkpoints in without dropping traffic (canary-tested; a bad checkpoint is rejected and the old model keeps serving)")
+	reloadInterval := flag.Duration("reload-interval", 2*time.Second, "poll period for -watch")
 	flag.Parse()
 
-	// entry is one fully resolved model to register.
+	// entry is one fully resolved model to register. watchPath is what
+	// -watch polls: the original flag value, so a directory spec keeps
+	// resolving even if the spec file inside it is replaced. baseline
+	// is the content fingerprint captured before the serving pool was
+	// built, so a checkpoint written during the (slow) load window is
+	// promoted on the first poll rather than adopted as serving.
 	type entry struct {
-		name  string
-		spec  serve.ModelSpec
-		paths []string
+		name      string
+		spec      serve.ModelSpec
+		paths     []string
+		watchPath string
+		baseline  string
 	}
 	var entries []entry
 
@@ -128,7 +166,15 @@ func main() {
 		if len(paths) == 0 {
 			log.Fatalf("spec %s lists no checkpoints and none given via -checkpoint", sp)
 		}
-		entries = append(entries, entry{name: "default", spec: spec, paths: paths})
+		if *watch && !samePaths(paths, spec.Checkpoints) {
+			// The reloader rebuilds from the spec's checkpoint list, so
+			// a -checkpoint override it cannot see would be silently
+			// dropped (and the extra files never watched) on the first
+			// hot swap.
+			log.Fatalf("-watch rebuilds from the checkpoint list in %s, which differs from -checkpoint %s; "+
+				"point the spec at the same files or drop -checkpoint", sp, *ckpt)
+		}
+		entries = append(entries, entry{name: "default", spec: spec, paths: paths, watchPath: sp})
 	}
 	for _, m := range models {
 		spec, err := serve.ResolveSpec(m.path)
@@ -138,7 +184,7 @@ func main() {
 		if len(spec.Checkpoints) == 0 {
 			log.Fatalf("model %s: spec at %s lists no checkpoints", m.name, m.path)
 		}
-		entries = append(entries, entry{name: m.name, spec: spec, paths: spec.Checkpoints})
+		entries = append(entries, entry{name: m.name, spec: spec, paths: spec.Checkpoints, watchPath: m.path})
 	}
 	if len(entries) == 0 {
 		log.Fatal("need -models name=path (or legacy -checkpoint/-spec)")
@@ -151,7 +197,18 @@ func main() {
 		CacheSize:  *cacheSize,
 	}
 	reg := serve.NewRegistry()
-	for _, e := range entries {
+	for i := range entries {
+		e := &entries[i]
+		if *watch {
+			// Fingerprint before loading: if a new winner lands while
+			// the checkpoints are being read, the first poll sees a
+			// changed hash and promotes it.
+			fp, err := serve.SpecFingerprint(e.watchPath)
+			if err != nil {
+				log.Fatalf("model %s: %v", e.name, err)
+			}
+			e.baseline = fp
+		}
 		pool, err := serve.NewPoolFromCheckpoints(e.spec.Model, e.paths, *replicas, *ensemble)
 		if err != nil {
 			log.Fatalf("model %s: %v", e.name, err)
@@ -166,6 +223,30 @@ func main() {
 	if *defName != "" {
 		if err := reg.SetDefault(*defName); err != nil {
 			log.Fatal(err)
+		}
+	}
+
+	// -watch: one reloader per model polls its spec/checkpoint path and
+	// hot-swaps new LTFB winners in under live traffic. The watchers
+	// stop (watchCancel) before reg.Close so a swap cannot race the
+	// terminal shutdown.
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	defer watchCancel()
+	if *watch {
+		for _, e := range entries {
+			rl, err := serve.NewReloader(reg, e.name, e.watchPath, serve.ReloaderConfig{
+				Interval: *reloadInterval,
+				Replicas: *replicas,
+				Ensemble: *ensemble,
+				Server:   cfg,
+				Logf:     log.Printf,
+				Baseline: e.baseline,
+			})
+			if err != nil {
+				log.Fatalf("model %s: %v", e.name, err)
+			}
+			go rl.Run(watchCtx)
+			log.Printf("model %s: watching %s (every %v)", e.name, e.watchPath, *reloadInterval)
 		}
 	}
 
@@ -185,6 +266,7 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
+		watchCancel() // no hot swaps once shutdown starts
 		reg.Close()
 		close(drained)
 	}()

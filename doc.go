@@ -25,16 +25,34 @@
 // forward pass, and batched replies report aligned per-row errors so
 // one bad row cannot fail a batch.
 //
+// Serving is also live across model updates: the LTFB loop keeps
+// promoting new tournament winners, so serve.Registry.Replace
+// atomically swaps the server behind a name — requests in flight drain
+// against the old pool (the HTTP layer pins its server per request via
+// Registry.Acquire, and Replace waits for the last holder before
+// closing it) while new requests answer from the new one, with a
+// per-name generation counter recording each swap. A serve.Reloader
+// automates the swap from disk: it polls a spec/checkpoint path
+// (cheap stat signature first, SHA-256 content fingerprint second, so
+// a touched-but-identical file never reloads), rebuilds the replica
+// pool from the new winner, smoke-tests it with a canary forward pass
+// per method, and promotes it only if the canary passes — a corrupt or
+// NaN-weight checkpoint is rejected, the old generation keeps serving,
+// and the failure is reported under "reload" in /healthz.
+//
 // cmd/jagserve exposes the registry over the versioned v1 HTTP API —
-// GET /v1/models (listing + readiness), POST /v1/models/{name}/{method}
-// (content-negotiated JSON or binary little-endian float32 tensor
-// frames, serve/wire.go), GET /v1/models/{name}/stats, and /healthz
-// with per-model readiness; the unversioned /predict and /stats remain
-// as deprecated aliases onto the default model. cmd/ltfbtrain
+// GET /v1/models (listing + readiness + generation), POST
+// /v1/models/{name}/{method} (content-negotiated JSON or binary
+// little-endian float32 tensor frames, serve/wire.go), GET
+// /v1/models/{name}/stats, and /healthz with per-model readiness and
+// reload state; the unversioned /predict and /stats remain as
+// deprecated aliases onto the default model, and -watch
+// -reload-interval runs a Reloader per model. cmd/ltfbtrain
 // -checkpoint saves a trained population's best models with the spec
 // sidecar jagserve -models loads; serve.Client is the Go client; and
 // examples/serving walks the whole train → checkpoint → register →
-// query path (both transports, both methods) in one process.
+// query → hot-reload path (both transports, both methods) in one
+// process.
 //
 // Start with README.md for the layout, DESIGN.md for the system inventory
 // and substitution rationale, and EXPERIMENTS.md for paper-vs-measured

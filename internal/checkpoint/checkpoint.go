@@ -10,8 +10,11 @@
 package checkpoint
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -46,6 +49,24 @@ func Save(path string, step int64, nets []*nn.Network) error {
 		return fmt.Errorf("checkpoint: rename: %w", err)
 	}
 	return nil
+}
+
+// Fingerprint returns the hex SHA-256 of the file at path — the
+// content identity a checkpoint watcher compares across polls. Because
+// Save is atomic (temp file + rename), a fingerprint never observes a
+// half-written checkpoint: it hashes either the old bytes or the new
+// ones.
+func Fingerprint(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("checkpoint: fingerprint %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // Load restores a checkpoint into nets (which must match the saved

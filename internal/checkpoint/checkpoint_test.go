@@ -89,6 +89,60 @@ func TestSaveOverwritesAtomically(t *testing.T) {
 	}
 }
 
+// TestFingerprint pins the content-identity contract the serving-side
+// checkpoint watcher relies on: identical weights fingerprint
+// identically regardless of when they were saved, any weight change
+// moves the fingerprint, and a missing file errors instead of hashing
+// to something.
+func TestFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.ckpt"), filepath.Join(dir, "b.ckpt")
+	m := tinySurrogate(5)
+	if err := Save(a, 1, m.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(b, 1, m.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	fa, err := Fingerprint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Fingerprint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa == "" || fa != fb {
+		t.Fatalf("identical checkpoints fingerprint %q vs %q", fa, fb)
+	}
+
+	// A different step counter alone is a content change: the watcher
+	// must notice a re-save even when the weights round-tripped.
+	if err := Save(a, 2, m.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	if fa2, err := Fingerprint(a); err != nil || fa2 == fa {
+		t.Fatalf("step-only change kept fingerprint (%v)", err)
+	}
+
+	// One changed weight must move the fingerprint too.
+	m.Forward.Params()[0].W.Data[0] += 1
+	if err := Save(b, 1, m.Nets()); err != nil {
+		t.Fatal(err)
+	}
+	fb2, err := Fingerprint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb2 == fb {
+		t.Fatal("changed weights kept the same fingerprint")
+	}
+
+	if _, err := Fingerprint(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
 // Checkpoint/restart equivalence: resuming from a checkpoint must produce
 // the same predictions as the model that was saved.
 func TestResumeEquivalence(t *testing.T) {

@@ -54,9 +54,10 @@ func (c *Client) Models(ctx context.Context) ([]ModelInfo, error) {
 	return out.Models, nil
 }
 
-// Stats fetches one model's serving counters.
-func (c *Client) Stats(ctx context.Context, model string) (StatsSnapshot, error) {
-	var snap StatsSnapshot
+// Stats fetches one model's serving counters, including its hot-swap
+// generation (the counters reset when a reload swaps the generation).
+func (c *Client) Stats(ctx context.Context, model string) (ModelStats, error) {
+	var snap ModelStats
 	err := c.getJSON(ctx, "/v1/models/"+url.PathEscape(model)+"/stats", &snap)
 	return snap, err
 }

@@ -84,6 +84,23 @@ type ModelInfo struct {
 	Replicas int             `json:"replicas,omitempty"`
 	Ensemble bool            `json:"ensemble,omitempty"`
 	Methods  map[string]Dims `json:"methods"`
+	// Generation is the model's hot-swap generation: 1 at Register,
+	// +1 per Registry.Replace (e.g. a reloader promoting a new LTFB
+	// winner).
+	Generation int64 `json:"generation"`
+}
+
+// ModelStats is the GET /v1/models/{name}/stats reply: the server's
+// counters plus the registry-level reload bookkeeping. The counters
+// reset on a hot swap (each generation's Server owns its own Stats);
+// Generation and Reloads say when that happened.
+type ModelStats struct {
+	StatsSnapshot
+	// Generation is the serving generation the counters belong to.
+	Generation int64 `json:"generation"`
+	// Reloads counts the hot swaps this name has been through
+	// (Generation - 1).
+	Reloads int64 `json:"reloads"`
 }
 
 // ModelsResponse is the GET /v1/models JSON reply.
@@ -98,6 +115,13 @@ type ModelHealth struct {
 	Status   string `json:"status"`
 	Replicas int    `json:"replicas,omitempty"`
 	Ensemble bool   `json:"ensemble,omitempty"`
+	// Generation is the model's hot-swap generation (see ModelInfo).
+	Generation int64 `json:"generation"`
+	// Reload is the checkpoint watcher's state when the model has one:
+	// watched path, last check/swap times, and the last rejected
+	// reload (a non-empty last_error means a new checkpoint failed its
+	// canary or load and the previous generation kept serving).
+	Reload *ReloadState `json:"reload,omitempty"`
 }
 
 // HealthResponse is the /healthz JSON reply: per-model readiness, plus
@@ -133,12 +157,17 @@ func NewHandlerConfig(s *Server, hc HandlerConfig) http.Handler {
 
 // NewRegistryHandler exposes every model of a Registry over HTTP:
 //
-//	GET  /v1/models                    model listing: methods, dims, readiness
+//	GET  /v1/models                    model listing: methods, dims, readiness, generation
 //	POST /v1/models/{name}/{method}    batched call (JSON or binary tensor body)
-//	GET  /v1/models/{name}/stats       per-model serving counters
-//	GET  /healthz                      per-model readiness; 503 if any model closed
+//	GET  /v1/models/{name}/stats       per-model serving counters + reload generation
+//	GET  /healthz                      per-model readiness + reload state; 503 if any model closed
 //	POST /predict                      deprecated: default model's "predict"
 //	GET  /stats                        deprecated: default model's counters
+//
+// Call routes pin their server with Registry.Acquire, so a hot swap
+// (Registry.Replace, e.g. a Reloader promoting a new checkpoint)
+// drains in-flight calls against the old model instead of failing
+// them; requests admitted after the swap answer from the new one.
 //
 // Call bodies are content-negotiated: a JSON PredictRequest, or a
 // binary tensor frame (Content-Type ContentTypeTensor, options via the
@@ -160,10 +189,11 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 				continue
 			}
 			info := ModelInfo{
-				Name:    name,
-				Default: name == def,
-				Ready:   !s.Closed(),
-				Methods: s.Dims(),
+				Name:       name,
+				Default:    name == def,
+				Ready:      !s.Closed(),
+				Methods:    s.Dims(),
+				Generation: reg.Generation(name),
 			}
 			info.Replicas, info.Ensemble = poolShape(s.Model())
 			resp.Models = append(resp.Models, info)
@@ -172,12 +202,16 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/models/{name}/{method}", func(w http.ResponseWriter, r *http.Request) {
 		name, method := r.PathValue("name"), r.PathValue("method")
-		s, ok := reg.Get(name)
+		// Acquire, not Get: the handler may hold the server across a
+		// long batched call, and a concurrent hot swap must drain it
+		// before closing rather than fail its rows with ErrClosed.
+		s, release, ok := reg.Acquire(name)
 		if !ok {
 			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q (have: %s)",
 				name, strings.Join(reg.Names(), ", ")))
 			return
 		}
+		defer release()
 		if _, ok := s.Dims()[method]; !ok {
 			httpError(w, http.StatusNotFound, fmt.Sprintf("model %q has no method %q (serves: %s)",
 				name, method, strings.Join(s.Methods(), ", ")))
@@ -186,12 +220,14 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 		serveCall(w, r, s, method, hc)
 	})
 	mux.HandleFunc("GET /v1/models/{name}/stats", func(w http.ResponseWriter, r *http.Request) {
-		s, ok := reg.Get(r.PathValue("name"))
+		name := r.PathValue("name")
+		s, ok := reg.Get(name)
 		if !ok {
-			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", r.PathValue("name")))
+			httpError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
 			return
 		}
-		writeJSON(w, s.Stats())
+		gen := reg.Generation(name)
+		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		resp := HealthResponse{Status: "ok", Models: map[string]ModelHealth{}}
@@ -201,8 +237,11 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 			if !ok {
 				continue
 			}
-			mh := ModelHealth{Status: "ok"}
+			mh := ModelHealth{Status: "ok", Generation: reg.Generation(name)}
 			mh.Replicas, mh.Ensemble = poolShape(s.Model())
+			if rs, ok := reg.ReloadState(name); ok {
+				mh.Reload = &rs
+			}
 			if s.Closed() {
 				// One dead model degrades the whole process: load
 				// balancers should stop routing here rather than let
@@ -217,11 +256,12 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 	})
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
 		markDeprecated(w)
-		name, s, ok := reg.Default()
+		name, s, release, ok := reg.AcquireDefault()
 		if !ok {
 			httpError(w, http.StatusServiceUnavailable, "no models registered")
 			return
 		}
+		defer release()
 		if _, ok := s.Dims()[MethodPredict]; !ok {
 			httpError(w, http.StatusNotFound, fmt.Sprintf("default model %q has no predict method", name))
 			return
@@ -230,12 +270,13 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		markDeprecated(w)
-		_, s, ok := reg.Default()
+		name, s, ok := reg.Default()
 		if !ok {
 			httpError(w, http.StatusServiceUnavailable, "no models registered")
 			return
 		}
-		writeJSON(w, s.Stats())
+		gen := reg.Generation(name)
+		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1})
 	})
 	return mux
 }

@@ -31,47 +31,79 @@ type ModelSpec struct {
 // SpecPath returns the conventional sidecar path for a checkpoint.
 func SpecPath(checkpointPath string) string { return checkpointPath + ".spec.json" }
 
-// SaveSpec writes the spec as indented JSON.
+// SaveSpec writes the spec as indented JSON, atomically (temp file +
+// rename) so a checkpoint watcher polling the path never reads a
+// half-written spec.
 func SaveSpec(path string, spec ModelSpec) error {
 	buf, err := json.MarshalIndent(spec, "", "  ")
 	if err != nil {
 		return fmt.Errorf("serve: marshal spec: %w", err)
 	}
-	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".spec-*")
+	if err != nil {
 		return fmt.Errorf("serve: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: write spec: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: close spec: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: chmod spec: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: rename spec: %w", err)
 	}
 	return nil
 }
 
-// ResolveSpec loads a ModelSpec from a flexible path — the value of
-// cmd/jagserve's -models name=path flag. path may be the spec file
-// itself (*.spec.json), a checkpoint path (whose sidecar is loaded), or
-// a directory containing exactly one *.spec.json (the shape ltfbtrain
-// -checkpoint leaves behind).
-func ResolveSpec(path string) (ModelSpec, error) {
+// FindSpec resolves a flexible model path — the value of cmd/jagserve's
+// -models name=path flag — to the spec file itself. path may be the
+// spec file (*.spec.json), a checkpoint path (whose sidecar is
+// returned), or a directory containing exactly one *.spec.json (the
+// shape ltfbtrain -checkpoint leaves behind). The checkpoint watcher
+// re-resolves through this every poll, so a spec that appears in a
+// watched directory later is still found.
+func FindSpec(path string) (string, error) {
 	info, err := os.Stat(path)
 	switch {
 	case err != nil:
-		return ModelSpec{}, fmt.Errorf("serve: %w", err)
+		return "", fmt.Errorf("serve: %w", err)
 	case info.IsDir():
 		matches, err := filepath.Glob(filepath.Join(path, "*.spec.json"))
 		if err != nil {
-			return ModelSpec{}, fmt.Errorf("serve: %w", err)
+			return "", fmt.Errorf("serve: %w", err)
 		}
 		switch len(matches) {
 		case 0:
-			return ModelSpec{}, fmt.Errorf("serve: no *.spec.json in %s", path)
+			return "", fmt.Errorf("serve: no *.spec.json in %s", path)
 		case 1:
-			return LoadSpec(matches[0])
+			return matches[0], nil
 		default:
-			return ModelSpec{}, fmt.Errorf("serve: %s holds %d specs (%s); name one explicitly",
+			return "", fmt.Errorf("serve: %s holds %d specs (%s); name one explicitly",
 				path, len(matches), strings.Join(matches, ", "))
 		}
 	case strings.HasSuffix(path, ".spec.json"):
-		return LoadSpec(path)
+		return path, nil
 	default:
-		return LoadSpec(SpecPath(path))
+		return SpecPath(path), nil
 	}
+}
+
+// ResolveSpec loads a ModelSpec from a flexible path (see FindSpec).
+func ResolveSpec(path string) (ModelSpec, error) {
+	specPath, err := FindSpec(path)
+	if err != nil {
+		return ModelSpec{}, err
+	}
+	return LoadSpec(specPath)
 }
 
 // LoadSpec reads and validates a spec written by SaveSpec.

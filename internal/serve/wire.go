@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 )
 
 // Binary tensor transport. At the paper's Default64 geometry one output
@@ -86,9 +87,11 @@ func WriteFrame(w io.Writer, rows [][]float32) error {
 // validated before it is believed: bad magic, an unknown version, a
 // rows*cols product over MaxFrameElems (which also catches uint32
 // multiplication overflow, since the product is computed in uint64),
-// more than maxRows rows (0 = no limit), a column count different from
-// wantCols (0 = any), and a payload shorter than the header claims are
-// all errors, never panics. Rows are views of one backing slice.
+// zero-width rows, more than maxRows rows (0 = no limit), a column
+// count different from wantCols (0 = any), and a payload shorter than
+// the header claims are all errors, never panics. Allocation is
+// bounded by bytes actually received, not by the header's claim. Rows
+// are views of one backing slice.
 func DecodeFrame(r io.Reader, wantCols, maxRows int) ([][]float32, error) {
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -105,15 +108,32 @@ func DecodeFrame(r io.Reader, wantCols, maxRows int) ([][]float32, error) {
 	if elems := uint64(rows) * uint64(cols); elems > MaxFrameElems {
 		return nil, fmt.Errorf("serve: frame too large: %d x %d elements (max %d)", rows, cols, MaxFrameElems)
 	}
+	if cols == 0 && rows > 0 {
+		// Zero-width rows carry no payload to bound the row count, so
+		// the header alone could demand billions of row slices.
+		return nil, fmt.Errorf("serve: frame has %d zero-width rows", rows)
+	}
 	if maxRows > 0 && rows > uint32(maxRows) {
 		return nil, fmt.Errorf("serve: frame has %d rows (max %d)", rows, maxRows)
 	}
 	if wantCols > 0 && cols != uint32(wantCols) {
 		return nil, fmt.Errorf("serve: frame has %d cols, want %d", cols, wantCols)
 	}
-	payload := make([]byte, 4*int(rows)*int(cols))
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("serve: truncated frame payload: %w", err)
+	// Read the payload in bounded chunks instead of allocating the
+	// header's full claim up front: a 16-byte frame declaring
+	// MaxFrameElems would otherwise demand 256 MiB before the first
+	// payload byte is checked. Growth tracks bytes that actually
+	// arrived, so a truncated frame costs at most ~2x what was sent.
+	const decodeChunk = 1 << 20
+	need := 4 * int(rows) * int(cols)
+	payload := make([]byte, 0, min(need, decodeChunk))
+	for len(payload) < need {
+		start := len(payload)
+		n := min(need-start, decodeChunk)
+		payload = slices.Grow(payload, n)[:start+n]
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return nil, fmt.Errorf("serve: truncated frame payload: %w", err)
+		}
 	}
 	flat := make([]float32, int(rows)*int(cols))
 	for i := range flat {
