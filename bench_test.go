@@ -198,7 +198,7 @@ func BenchmarkFig13LTFBvsKIndependent(b *testing.B) {
 	}
 }
 
-// --- Ablation benches (DESIGN.md section 4) ---
+// --- Ablation benches (exchange policy and tournament interval) ---
 
 // benchExchange measures one LTFB tournament round with the given exchange
 // policy and reports the payload volume.
@@ -365,8 +365,7 @@ func BenchmarkEnsembleGeneration(b *testing.B) {
 }
 
 // BenchmarkSensitivitySweep evaluates the headline's robustness to the
-// modelled mechanisms (DESIGN.md section 4); the summary appears in
-// EXPERIMENTS.md.
+// modelled mechanisms; the summary appears in EXPERIMENTS.md.
 func BenchmarkSensitivitySweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pts := perfmodel.SweepHeadline(5)

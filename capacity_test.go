@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cyclegan"
+	"repro/internal/jag"
+	"repro/internal/perfmodel"
+	"repro/internal/serve"
+)
+
+// Validation of the serving capacity model (perfmodel.ServingScenario)
+// against the real pipeline, the way the Figure 9–11 calibration tests
+// validate the training model against the paper's ratios. The contract:
+// with cost constants probed from the running binary (serve.CostProbe),
+// the model's sustainable-QPS prediction must land within a factor of
+// WITHIN of a measured saturated in-process benchmark, and its low-load
+// latency prediction must bracket a measured idle-server request.
+//
+// Tolerances are deliberately wide — the measured side shares one CPU
+// with its own load generators and the model ignores queue-hop and
+// scheduler costs — but they are real bounds: a regression that makes
+// the model drift past 3.3x optimistic or pessimistic (a lost
+// amortization term, a misplaced factor of MaxBatch) fails here.
+const (
+	capWithin   = 3.3 // measured/predicted throughput must be in [1/capWithin, capWithin]
+	capMaxBatch = 64
+	capWindow   = 2 * time.Millisecond
+)
+
+// capPool builds the single-replica Tiny8 pool both sides share. One
+// replica keeps the comparison honest on single-core hosts: the model's
+// Replicas means concurrent execution units, which a CPU-bound Go
+// process cannot exceed GOMAXPROCS of.
+func capPool(t *testing.T) *serve.Pool {
+	t.Helper()
+	cfg := cyclegan.DefaultConfig(jag.Tiny8)
+	cfg.EncoderHidden = []int{48}
+	cfg.ForwardHidden = []int{32, 32}
+	cfg.InverseHidden = []int{16}
+	cfg.DiscHidden = []int{16}
+	pool, err := serve.NewPool([]*cyclegan.Surrogate{cyclegan.New(cfg, 11)}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func TestServingCapacityModelVsMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based validation")
+	}
+	pool := capPool(t)
+	probe, err := serve.CostProbe(pool, serve.MethodPredict, capMaxBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenario := perfmodel.ServingScenario{
+		Cost:     perfmodel.ServingCost{PassSec: probe.PassSec, RowSec: probe.RowSec},
+		Replicas: 1,
+		MaxBatch: capMaxBatch,
+		Window:   capWindow,
+	}
+	predicted := scenario.MaxQPS()
+	if predicted <= 0 {
+		t.Fatalf("degenerate prediction from probe %+v", probe)
+	}
+
+	// Measured side: the probed pool behind the real batching queue,
+	// saturated by closed-loop clients (enough to keep full batches
+	// queued, few enough not to drown the worker on small hosts).
+	srv := serve.NewServer(pool, serve.Config{
+		MaxBatch:   capMaxBatch,
+		MaxDelay:   capWindow,
+		QueueDepth: 1024,
+		Workers:    1,
+	})
+	defer srv.Close()
+	const clients, perClient = 2 * capMaxBatch, 150
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			x := make([]float32, jag.InputDim)
+			for i := 0; i < perClient; i++ {
+				for d := range x {
+					x[d] = float32((c*perClient+i*7+d*13)%997) / 997
+				}
+				if _, err := srv.Predict(x); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	measured := float64(clients*perClient) / time.Since(start).Seconds()
+	snap := srv.Stats()
+	if snap.MeanBatch < capMaxBatch/4 {
+		t.Fatalf("saturation never reached (mean batch %.1f); measurement invalid", snap.MeanBatch)
+	}
+
+	if ratio := measured / predicted; ratio < 1/capWithin || ratio > capWithin {
+		t.Fatalf("capacity model missed: measured %.0f req/s vs predicted %.0f (ratio %.2f, tolerance %.1fx); probe %+v",
+			measured, predicted, ratio, capWithin, probe)
+	}
+
+	// Low-load latency: an idle server's lone request waits out the
+	// batch window plus one single-row pass. The model's p50 (half the
+	// window at vanishing load) and p99 (full window) must bracket the
+	// measured mean within the same spirit of tolerance.
+	lowSrv := serve.NewServer(capPool(t), serve.Config{
+		MaxBatch: capMaxBatch,
+		MaxDelay: capWindow,
+		Workers:  1,
+	})
+	defer lowSrv.Close()
+	const lowN = 40
+	x := make([]float32, jag.InputDim)
+	for i := 0; i < lowN; i++ {
+		x[0] = float32(i) / lowN // unique rows: no cache, no coalescing
+		if _, err := lowSrv.Predict(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lowLat := lowSrv.Stats().MeanLatMs / 1e3
+	low := scenario
+	low.OfferedQPS = 50 // well under capacity: window-bound regime
+	rep := low.Report()
+	if rep.Saturated {
+		t.Fatalf("low-load scenario saturated: %+v", rep)
+	}
+	if lowLat < rep.P50/3 || lowLat > 3*rep.P99 {
+		t.Fatalf("low-load latency model missed: measured %.2fms outside [p50/3=%.2fms, 3*p99=%.2fms]",
+			1e3*lowLat, 1e3*rep.P50/3, 3e3*rep.P99)
+	}
+}

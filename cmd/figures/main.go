@@ -2,12 +2,17 @@
 // evaluation section (Figures 7–13 plus the abstract's headline numbers)
 // and prints them as text tables. Systems figures (9, 10, 11) come from the
 // calibrated performance model; quality figures (7, 8, 12, 13) come from
-// real training runs at laptop scale.
+// real training runs at laptop scale. Figure S1 extends the treatment to
+// the serving path: it probes the forward-pass cost on this host
+// (serve.CostProbe) and prints the predicted serving capacity — QPS and
+// p50/p99 latency versus replica count and batch window — plus a
+// projection to the paper-scale architecture.
 //
 // Usage:
 //
 //	figures            # everything
 //	figures -fig 11    # one figure
+//	figures -fig S1    # serving-capacity sweep only
 //	figures -scale medium   # larger (slower) quality experiments
 package main
 
@@ -25,7 +30,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
-	fig := flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10, 11, 12, 13, headline, sensitivity, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10, 11, 12, 13, S1, headline, sensitivity, or all")
 	scale := flag.String("scale", "small", "quality-experiment scale: small or medium")
 	flag.Parse()
 
@@ -99,6 +104,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(tab.Render())
+		fmt.Println()
+	}
+	if want("S1") {
+		cost, probedCfg, err := core.ProbeServingCost()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(core.FigureS1Table(cost).Render())
+		fmt.Println()
+		paper, err := core.FigureS1PaperTable(cost, probedCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(paper.Render())
 		fmt.Println()
 	}
 	if want("headline") || *fig == "all" {

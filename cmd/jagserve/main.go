@@ -31,6 +31,10 @@
 // NaN-weight checkpoint is rejected while the old model keeps serving
 // (the rejection shows up under "reload" in /healthz). Per-model stats
 // and /healthz report the serving generation (1 + completed reloads).
+// -drain-deadline bounds how long a swap waits for in-flight callers of
+// the old model: past it the old model is force-closed (its remaining
+// rows fail with 503) and the stats' forced_closes counter increments;
+// the default of 0 waits forever.
 //
 // Endpoints:
 //
@@ -122,6 +126,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "default per-request deadline; rows still queued past it are dropped without a forward pass (0 disables; requests override via deadline_ms)")
 	watch := flag.Bool("watch", false, "watch each model's spec/checkpoint path and hot-swap newly written checkpoints in without dropping traffic (canary-tested; a bad checkpoint is rejected and the old model keeps serving)")
 	reloadInterval := flag.Duration("reload-interval", 2*time.Second, "poll period for -watch")
+	drainDeadline := flag.Duration("drain-deadline", 0, "max time a hot swap waits for in-flight callers of the old model before force-closing it (counted as forced_closes in stats; 0 waits forever)")
 	flag.Parse()
 
 	// entry is one fully resolved model to register. watchPath is what
@@ -197,6 +202,7 @@ func main() {
 		CacheSize:  *cacheSize,
 	}
 	reg := serve.NewRegistry()
+	reg.SetDrainDeadline(*drainDeadline)
 	for i := range entries {
 		e := &entries[i]
 		if *watch {

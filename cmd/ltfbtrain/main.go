@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -101,6 +102,13 @@ func saveCheckpoints(path string, k int, cfg core.QualityConfig, res *core.Quali
 	}
 	if k > len(res.Models) {
 		k = len(res.Models)
+	}
+	// A fresh checkout has no checkpoint directory yet; create it so the
+	// documented one-liner works without a mkdir.
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("checkpoint dir: %w", err)
+		}
 	}
 	final := res.RoundLosses[len(res.RoundLosses)-1]
 	order := make([]int, len(res.Models))

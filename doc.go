@@ -46,16 +46,27 @@
 // little-endian float32 tensor frames, serve/wire.go), GET
 // /v1/models/{name}/stats, and /healthz with per-model readiness and
 // reload state; the unversioned /predict and /stats remain as
-// deprecated aliases onto the default model, and -watch
-// -reload-interval runs a Reloader per model. cmd/ltfbtrain
-// -checkpoint saves a trained population's best models with the spec
-// sidecar jagserve -models loads; serve.Client is the Go client; and
-// examples/serving walks the whole train → checkpoint → register →
-// query → hot-reload path (both transports, both methods) in one
-// process.
+// deprecated aliases onto the default model, -watch -reload-interval
+// runs a Reloader per model, and -drain-deadline bounds how long a
+// swap waits for stragglers before force-closing the old model.
+// cmd/ltfbtrain -checkpoint saves a trained population's best models
+// with the spec sidecar jagserve -models loads; serve.Client is the Go
+// client; and examples/serving walks the whole train → checkpoint →
+// register → query → hot-reload path (both transports, both methods)
+// in one process.
 //
-// Start with README.md for the layout, DESIGN.md for the system inventory
-// and substitution rationale, and EXPERIMENTS.md for paper-vs-measured
-// results. The benchmarks in bench_test.go regenerate every figure of the
-// paper's evaluation section; cmd/figures prints them as tables.
+// The performance model closes the loop: internal/perfmodel
+// regenerates the paper's training figures (9–11) analytically and
+// extends the same treatment to serving — a capacity model of the
+// batching queue (batch-window fill, replica parallelism, cache hit
+// rate, priority lanes) calibrated by serve.CostProbe on the running
+// binary, predicting sustainable QPS and p50/p99 latency per replica
+// count (cmd/figures -fig S1, examples/capacity), and validated
+// against a measured in-process benchmark in capacity_test.go.
+//
+// Start with README.md for the layout and quickstart, docs/SERVING.md
+// for the serving operator guide, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go
+// regenerate every figure of the paper's evaluation section;
+// cmd/figures prints them as tables.
 package repro

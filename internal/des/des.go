@@ -2,7 +2,7 @@
 // reproduction uses it to model the systems side of the paper's evaluation —
 // parallel file-system contention, data-store population, and epoch
 // timelines — in virtual time, since the physical Lassen machine is not
-// available (see DESIGN.md, substitutions).
+// available (see README.md's package map for the substitution rationale).
 //
 // Events fire in non-decreasing time order; ties break by scheduling order,
 // so a simulation is a pure function of its inputs. Callbacks run on the

@@ -16,6 +16,14 @@
 // (1 GPU) and 1.31×/1.43×/1.10× (16 GPUs), and LTFB's 70.2× / ~109%
 // parallel efficiency at 64 trainers. See EXPERIMENTS.md for measured
 // values.
+//
+// serving.go extends the same treatment to the inference path: an
+// analytical model of internal/serve's batching queue (batch-window
+// fill, per-pass cost, replica parallelism, cache hit rate, priority
+// lanes) that predicts sustainable QPS and p50/p99 latency per replica
+// count and batch window — calibrated by serve.CostProbe on the running
+// binary rather than by the paper, and validated against a measured
+// in-process benchmark by the tier-1 capacity test.
 package perfmodel
 
 // Arch captures the paper-scale CycleGAN layer dimensions (Section II-D;

@@ -1,0 +1,225 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// testCost is a plausible CPU-host calibration: 100µs per pass, 50µs
+// per row.
+func testCost() ServingCost { return ServingCost{PassSec: 100e-6, RowSec: 50e-6} }
+
+func testServing() ServingScenario {
+	return ServingScenario{
+		Cost:     testCost(),
+		Replicas: 2,
+		MaxBatch: 64,
+		Window:   2 * time.Millisecond,
+	}
+}
+
+func TestServeFlopsPerRow(t *testing.T) {
+	a := PaperArch()
+	_, dec, fwd, inv, _ := a.Params()
+	pred, err := a.ServeFlopsPerRow(ServePredict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 2*float64(fwd+dec) {
+		t.Fatalf("predict flops = %g, want 2*(fwd+dec)", pred)
+	}
+	invf, err := a.ServeFlopsPerRow(ServeInvert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invf != 2*float64(fwd+inv) {
+		t.Fatalf("invert flops = %g, want 2*(fwd+inv)", invf)
+	}
+	// Serving is forward-only: one served predict row must cost far
+	// less than one training sample (6 flops/param over 3 phases).
+	if pred >= a.FlopsPerSample()/2 {
+		t.Fatal("serving a row should be much cheaper than training on it")
+	}
+	if _, err := a.ServeFlopsPerRow("nope"); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+}
+
+func TestServingCostFromArch(t *testing.T) {
+	a := PaperArch()
+	c, err := ServingCostFromArch(a, ServePredict, 1e12, 20e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flops, _ := a.ServeFlopsPerRow(ServePredict)
+	if c.PassSec != 20e-6 || c.RowSec != flops/1e12 {
+		t.Fatalf("unexpected projected cost %+v", c)
+	}
+	if _, err := ServingCostFromArch(a, ServePredict, 0, 0); err == nil {
+		t.Fatal("zero throughput must fail")
+	}
+}
+
+func TestServingValidate(t *testing.T) {
+	good := testServing()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*ServingScenario){
+		"zero row cost":  func(s *ServingScenario) { s.Cost.RowSec = 0 },
+		"no replicas":    func(s *ServingScenario) { s.Replicas = 0 },
+		"no window":      func(s *ServingScenario) { s.Window = 0 },
+		"hit rate 1":     func(s *ServingScenario) { s.CacheHitRate = 1 },
+		"negative load":  func(s *ServingScenario) { s.OfferedQPS = -1 },
+		"bulk over 1":    func(s *ServingScenario) { s.BulkFraction = 1.5 },
+		"zero max batch": func(s *ServingScenario) { s.MaxBatch = 0 },
+	} {
+		bad := testServing()
+		mutate(&bad)
+		if bad.Validate() == nil {
+			t.Fatalf("%s must be invalid", name)
+		}
+	}
+}
+
+// Capacity must scale ~linearly with replicas and improve with batching
+// (a larger cap amortizes PassSec over more rows).
+func TestServingCapacityScaling(t *testing.T) {
+	s := testServing()
+	base := s.MaxQPS()
+	if base <= 0 {
+		t.Fatalf("MaxQPS = %v", base)
+	}
+	s.Replicas = 4
+	if got := s.MaxQPS(); math.Abs(got-2*base) > 1e-6*base {
+		t.Fatalf("doubling replicas: MaxQPS %v -> %v, want exactly 2x", base, got)
+	}
+	batched, unbatched := testServing(), testServing()
+	unbatched.MaxBatch = 1
+	if !(batched.MaxQPS() > 1.5*unbatched.MaxQPS()) {
+		t.Fatalf("batching should raise capacity: %v vs %v", batched.MaxQPS(), unbatched.MaxQPS())
+	}
+	// The batching benefit is exactly the amortization ratio.
+	want := batched.Cost.Cost(1) / (batched.Cost.Cost(64) / 64)
+	if got := batched.MaxQPS() / unbatched.MaxQPS(); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("batched/unbatched = %v, want %v", got, want)
+	}
+}
+
+func TestServingCacheRaisesCapacity(t *testing.T) {
+	s := testServing()
+	cold := s.MaxQPS()
+	s.CacheHitRate = 0.5
+	if got := s.MaxQPS(); math.Abs(got-2*cold) > 1e-6*cold {
+		t.Fatalf("50%% hit rate should double offered capacity: %v vs %v", got, cold)
+	}
+}
+
+// Window-bound vs size-bound occupancy: at low load the window closes
+// partial batches; at high load batches fill to MaxBatch first.
+func TestServingOccupancyRegimes(t *testing.T) {
+	s := testServing()
+	s.OfferedQPS = 500 // 1 row/window on average
+	low := s.Report()
+	if low.Saturated {
+		t.Fatal("low load saturated")
+	}
+	if !(low.Occupancy > 1 && low.Occupancy < 4) {
+		t.Fatalf("window-bound occupancy = %v", low.Occupancy)
+	}
+	if math.Abs(low.FillSec-s.Window.Seconds()) > 1e-12 {
+		t.Fatalf("window-bound fill = %v, want the window", low.FillSec)
+	}
+	s.OfferedQPS = 0.9 * s.MaxQPS()
+	high := s.Report()
+	if high.Saturated {
+		t.Fatal("90% load saturated")
+	}
+	if high.Occupancy != 64 {
+		t.Fatalf("size-bound occupancy = %v, want 64", high.Occupancy)
+	}
+	if !(high.FillSec < s.Window.Seconds()) {
+		t.Fatal("a full batch must flush before the window")
+	}
+	if !(high.P99 > low.P99) {
+		t.Fatalf("p99 should grow with load: %v vs %v", high.P99, low.P99)
+	}
+	if !(high.P99 > high.P50) {
+		t.Fatalf("p99 %v must exceed p50 %v", high.P99, high.P50)
+	}
+}
+
+func TestServingSaturation(t *testing.T) {
+	s := testServing()
+	s.OfferedQPS = 1.2 * s.MaxQPS()
+	r := s.Report()
+	if !r.Saturated || !math.IsInf(r.P99, 1) {
+		t.Fatalf("overloaded scenario must saturate: %+v", r)
+	}
+	s.OfferedQPS = 0.95 * s.MaxQPS()
+	if r := s.Report(); r.Saturated {
+		t.Fatalf("sub-capacity load must not saturate: %+v", r)
+	}
+}
+
+// The bulk lane pays for its preemption: at equal load its p99 must be
+// no better than the interactive lane's, and the gap must widen with
+// utilization.
+func TestServingPriorityLanes(t *testing.T) {
+	s := testServing()
+	s.BulkFraction = 0.5
+	s.OfferedQPS = 0.8 * s.MaxQPS()
+	r := s.Report()
+	if !(r.BulkP99 >= r.P99) {
+		t.Fatalf("bulk p99 %v beat interactive %v", r.BulkP99, r.P99)
+	}
+	gapHigh := r.BulkP99 - r.P99
+	s.OfferedQPS = 0.3 * s.MaxQPS()
+	r = s.Report()
+	gapLow := r.BulkP99 - r.P99
+	if !(gapHigh > gapLow) {
+		t.Fatalf("priority gap should widen with load: %v vs %v", gapHigh, gapLow)
+	}
+	// No bulk traffic: a hypothetical bulk row still waits behind the
+	// whole interactive backlog, so its p99 stays the worse of the two.
+	s.BulkFraction = 0
+	r = s.Report()
+	if !(r.BulkP99 >= r.P99) {
+		t.Fatalf("bulk p99 %v beat interactive %v with no bulk traffic", r.BulkP99, r.P99)
+	}
+}
+
+func TestFigureS1Sweep(t *testing.T) {
+	reps := []int{1, 2, 4}
+	wins := []time.Duration{time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond}
+	pts := FigureS1(testCost(), 64, reps, wins, 0.6, 0, 0)
+	if len(pts) != len(reps)*len(wins) {
+		t.Fatalf("sweep size %d, want %d", len(pts), len(reps)*len(wins))
+	}
+	byRep := map[int][]FigureS1Point{}
+	for _, p := range pts {
+		if p.MaxQPS <= 0 || p.P50Ms <= 0 || p.P99Ms < p.P50Ms || math.IsInf(p.P99Ms, 1) {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		if p.OfferedQPS >= p.MaxQPS {
+			t.Fatalf("operating point beyond capacity: %+v", p)
+		}
+		byRep[p.Replicas] = append(byRep[p.Replicas], p)
+	}
+	// Capacity grows with replicas at a fixed window.
+	if !(byRep[4][0].MaxQPS > byRep[2][0].MaxQPS && byRep[2][0].MaxQPS > byRep[1][0].MaxQPS) {
+		t.Fatalf("capacity not monotone in replicas: %+v", pts)
+	}
+	// A longer window cannot reduce capacity (MaxQPS is window-free)
+	// but must raise low-load occupancy headroom — and the quoted p50
+	// grows with the window at a fixed utilization only in the
+	// window-bound regime; just pin that latencies stay ordered.
+	for _, ps := range byRep {
+		for _, p := range ps {
+			if p.BulkP99Ms < p.P99Ms {
+				t.Fatalf("bulk p99 beat interactive in %+v", p)
+			}
+		}
+	}
+}

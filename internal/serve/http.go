@@ -101,6 +101,12 @@ type ModelStats struct {
 	// Reloads counts the hot swaps this name has been through
 	// (Generation - 1).
 	Reloads int64 `json:"reloads"`
+	// ForcedCloses counts the hot swaps whose drain hit the registry's
+	// drain deadline: the displaced server was closed while callers
+	// still held it, failing their remaining rows with 503s. Non-zero
+	// means swaps are outpacing the slowest callers — raise the drain
+	// deadline or put deadlines on the slow requests.
+	ForcedCloses int64 `json:"forced_closes"`
 }
 
 // ModelsResponse is the GET /v1/models JSON reply.
@@ -227,7 +233,8 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 			return
 		}
 		gen := reg.Generation(name)
-		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1})
+		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1,
+			ForcedCloses: reg.ForcedCloses(name)})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		resp := HealthResponse{Status: "ok", Models: map[string]ModelHealth{}}
@@ -276,7 +283,8 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 			return
 		}
 		gen := reg.Generation(name)
-		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1})
+		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1,
+			ForcedCloses: reg.ForcedCloses(name)})
 	})
 	return mux
 }

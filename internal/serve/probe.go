@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// CostProbe calibrates the serving capacity model against the running
+// binary. The perfmodel serving scenario (internal/perfmodel) predicts
+// p50/p99 latency and sustainable QPS from two constants — the fixed
+// cost of one forward-pass dispatch and the marginal cost of one batch
+// row — and those constants are host- and model-specific: GEMM
+// throughput, allocator behaviour, and cache effects all move them.
+// Rather than guessing, the probe times the real model the way the
+// serving worker runs it (gather rows into a batch matrix, run the
+// method, scatter rows back out) and fits the affine cost model
+//
+//	t(B) = PassSec + B·RowSec
+//
+// from measured pass times at batch sizes 1 and maxBatch. Minimum-of-
+// repetitions timing keeps scheduler noise out of the fit, the same way
+// benchmarking harnesses do.
+
+// ProbeResult is the calibrated cost of one model method on this host.
+type ProbeResult struct {
+	// Method is the probed model method.
+	Method string
+	// PassSec is the fixed cost of one forward-pass dispatch, seconds:
+	// what a batch pays once regardless of its row count (allocation,
+	// scheduling, and — when the server is configured with
+	// Config.PassOverhead — the modeled kernel-launch cost, which the
+	// caller must add separately since the probe times the bare model).
+	PassSec float64
+	// RowSec is the marginal cost of one batch row, seconds: GEMM work
+	// plus the gather/scatter copies the serving worker performs.
+	RowSec float64
+	// Passes is the number of timed forward passes behind the fit.
+	Passes int
+}
+
+// Cost returns the modeled duration of one forward pass of b rows.
+func (p ProbeResult) Cost(b int) float64 { return p.PassSec + float64(b)*p.RowSec }
+
+// One batch size's timing loop runs at least probeMinReps passes and
+// keeps sampling until probeBudget has elapsed, so a fast model gets
+// many samples behind its minimum while probing a slow model stays
+// bounded.
+const (
+	probeMinReps = 5
+	probeBudget  = 150 * time.Millisecond
+)
+
+// CostProbe times method on m at batch sizes 1 and maxBatch and returns
+// the fitted per-pass and per-row costs. The timed loop reproduces the
+// serving worker's data path — input rows copied into a fresh batch
+// matrix, one Run call, output rows copied back out — so batch-assembly
+// overhead lands in the constants instead of being lost. Inputs are
+// mid-cube (0.5 everywhere), matching the reload canary; forward-pass
+// cost does not depend on the input values, only the shapes.
+func CostProbe(m Model, method string, maxBatch int) (ProbeResult, error) {
+	dims, ok := m.Dims()[method]
+	if !ok {
+		return ProbeResult{}, fmt.Errorf("%w %q", ErrUnknownMethod, method)
+	}
+	if maxBatch < 2 {
+		return ProbeResult{}, fmt.Errorf("serve: probe needs maxBatch >= 2, got %d", maxBatch)
+	}
+	small, n1, err := timePass(m, method, dims, 1)
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	large, n2, err := timePass(m, method, dims, maxBatch)
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	row := (large - small) / float64(maxBatch-1)
+	if row < 0 {
+		// A model whose large batch timed faster than its single row is
+		// pure noise at this scale; fold everything into the per-row
+		// term so capacity stays finite.
+		row = large / float64(maxBatch)
+	}
+	pass := small - row
+	if pass < 0 {
+		pass = 0
+	}
+	return ProbeResult{Method: method, PassSec: pass, RowSec: row, Passes: n1 + n2}, nil
+}
+
+// timePass returns the minimum observed duration, in seconds, of one
+// worker-shaped forward pass of b rows, and how many passes it timed.
+func timePass(m Model, method string, d Dims, b int) (float64, int, error) {
+	rows := make([][]float32, b)
+	for i := range rows {
+		rows[i] = make([]float32, d.In)
+		for j := range rows[i] {
+			rows[i][j] = 0.5
+		}
+	}
+	out := make([]float32, d.Out)
+	best := 0.0
+	reps := 0
+	for start := time.Now(); reps < probeMinReps || time.Since(start) < probeBudget; reps++ {
+		t0 := time.Now()
+		x := tensor.New(b, d.In)
+		for i, r := range rows {
+			copy(x.Row(i), r)
+		}
+		y, err := m.Run(method, x)
+		if err != nil {
+			return 0, reps, fmt.Errorf("serve: probe %s: %w", method, err)
+		}
+		for i := 0; i < b; i++ {
+			copy(out, y.Row(i))
+		}
+		el := time.Since(t0).Seconds()
+		if reps == 0 || el < best {
+			best = el
+		}
+		if reps >= 10_000 { // tiny models: enough signal, stop burning CPU
+			break
+		}
+	}
+	return best, reps, nil
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// spinModel burns a deterministic amount of CPU per pass and per row,
+// so the probe's fitted constants have a known ground truth.
+type spinModel struct {
+	passCost time.Duration
+	rowCost  time.Duration
+}
+
+func (m *spinModel) Dims() map[string]Dims {
+	return map[string]Dims{MethodPredict: {In: 3, Out: 2}}
+}
+
+func (m *spinModel) Run(method string, x *tensor.Matrix) (*tensor.Matrix, error) {
+	spin(m.passCost + time.Duration(x.Rows)*m.rowCost)
+	return tensor.New(x.Rows, 2), nil
+}
+
+// spin busy-waits (sleeping would vanish from wall-clock minima under
+// timer coalescing far less predictably than spinning does).
+func spin(d time.Duration) {
+	for start := time.Now(); time.Since(start) < d; {
+	}
+}
+
+func TestCostProbeRecoversKnownCosts(t *testing.T) {
+	m := &spinModel{passCost: 400 * time.Microsecond, rowCost: 30 * time.Microsecond}
+	res, err := CostProbe(m, MethodPredict, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodPredict || res.Passes < 2*probeMinReps {
+		t.Fatalf("unexpected probe bookkeeping: %+v", res)
+	}
+	// Loose windows: the probe also pays real allocation/copy cost on
+	// top of the synthetic spin, so it may only overshoot.
+	if got, want := res.PassSec, m.passCost.Seconds(); got < 0.5*want || got > 3*want {
+		t.Fatalf("PassSec = %v, want ~%v", got, want)
+	}
+	if got, want := res.RowSec, m.rowCost.Seconds(); got < 0.5*want || got > 3*want {
+		t.Fatalf("RowSec = %v, want ~%v", got, want)
+	}
+	// The affine model must reproduce the timed endpoints.
+	if c := res.Cost(1); c <= 0 {
+		t.Fatalf("Cost(1) = %v", c)
+	}
+	if res.Cost(32) <= res.Cost(1) {
+		t.Fatal("cost must grow with batch size")
+	}
+}
+
+func TestCostProbeErrors(t *testing.T) {
+	m := &spinModel{}
+	if _, err := CostProbe(m, "nope", 32); err == nil {
+		t.Fatal("unknown method must fail")
+	}
+	if _, err := CostProbe(m, MethodPredict, 1); err == nil {
+		t.Fatal("maxBatch < 2 must fail")
+	}
+}

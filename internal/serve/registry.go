@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Registry maps model names to independently configured Servers — one
@@ -28,6 +29,12 @@ type Registry struct {
 	watchers map[string]*Reloader
 	def      string
 	closed   bool
+	// drainDeadline bounds how long Replace waits for Acquire holders
+	// before force-closing the displaced server; 0 waits forever.
+	drainDeadline time.Duration
+	// forcedCloses counts, per name, the Replace drains that hit the
+	// deadline and closed the old server out from under its holders.
+	forcedCloses map[string]int64
 }
 
 // regEntry is one registered server plus the bookkeeping Replace needs:
@@ -46,9 +53,29 @@ type regEntry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		servers:  make(map[string]*regEntry),
-		watchers: make(map[string]*Reloader),
+		servers:      make(map[string]*regEntry),
+		watchers:     make(map[string]*Reloader),
+		forcedCloses: make(map[string]int64),
 	}
+}
+
+// SetDrainDeadline bounds the drain phase of every later Replace: if
+// Acquire holders of the displaced server have not all released it
+// within d, the server is closed anyway — stragglers' in-flight Calls
+// fail with ErrClosed and the forced close is counted (ForcedCloses,
+// surfaced as forced_closes in the per-model stats). The zero value
+// restores the default of waiting indefinitely.
+//
+// This is the availability-vs-correctness trade of a rolling deploy: an
+// unbounded drain can never fail a request, but one stuck caller (a
+// client that never reads its response, a bulk sweep with no deadline)
+// then pins the old generation — and its memory — forever. A bounded
+// drain guarantees the swap finishes; the cost is that requests still
+// riding the old server past the deadline are cut off.
+func (r *Registry) SetDrainDeadline(d time.Duration) {
+	r.mu.Lock()
+	r.drainDeadline = d
+	r.mu.Unlock()
 }
 
 // validModelName reports whether name is usable as the {name} path
@@ -99,9 +126,10 @@ func (r *Registry) Register(name string, s *Server) error {
 // name: requests admitted after Replace route to s, the name's
 // generation increments, and the displaced server is drained — Replace
 // blocks until every Acquire holder has released it and its in-flight
-// batches have completed — then closed. The new server must be open
-// and distinct from the current one; on any error the registration is
-// untouched.
+// batches have completed — then closed. When a drain deadline is set
+// (SetDrainDeadline), the wait is bounded: holders that outlive it are
+// force-closed and counted. The new server must be open and distinct
+// from the current one; on any error the registration is untouched.
 func (r *Registry) Replace(name string, s *Server) error {
 	if s == nil {
 		return fmt.Errorf("serve: nil replacement server for model %q", name)
@@ -127,14 +155,45 @@ func (r *Registry) Replace(name string, s *Server) error {
 		return fmt.Errorf("serve: model %q replaced with itself", name)
 	}
 	r.servers[name] = &regEntry{srv: s, gen: old.gen + 1}
+	deadline := r.drainDeadline
 	r.mu.Unlock()
 
 	// The old entry is unreachable now, so its refcount can only fall.
 	// Wait for the last holder, then drain the pipeline: requests the
-	// holders already admitted complete against the old model.
-	old.refs.Wait()
+	// holders already admitted complete against the old model. With a
+	// drain deadline set, a holder that outlives it is not waited for:
+	// the old server closes anyway (its remaining Calls fail with
+	// ErrClosed) so a stuck caller cannot pin the displaced generation
+	// forever. The waiting goroutine lives until the last straggler
+	// releases — bounded by the holders' own lifetimes.
+	if deadline <= 0 {
+		old.refs.Wait()
+	} else {
+		released := make(chan struct{})
+		go func() {
+			old.refs.Wait()
+			close(released)
+		}()
+		timer := time.NewTimer(deadline)
+		select {
+		case <-released:
+			timer.Stop()
+		case <-timer.C:
+			r.mu.Lock()
+			r.forcedCloses[name]++
+			r.mu.Unlock()
+		}
+	}
 	old.srv.Close()
 	return nil
+}
+
+// ForcedCloses returns how many Replace drains for name hit the drain
+// deadline and force-closed the displaced server (see SetDrainDeadline).
+func (r *Registry) ForcedCloses(name string) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.forcedCloses[name]
 }
 
 // SetDefault names the model the deprecated unversioned endpoints

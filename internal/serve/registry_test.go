@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/cyclegan"
+	"repro/internal/jag"
 )
 
 // newNamedServer builds a single-replica server for registry tests.
@@ -95,5 +98,70 @@ func TestRegistryClose(t *testing.T) {
 	reg.Close()
 	if !a.Closed() || !b.Closed() {
 		t.Fatal("Close left a server running")
+	}
+}
+
+// TestReplaceDrainDeadline pins the bounded-drain contract: with a
+// drain deadline set, a Replace whose old server has an Acquire holder
+// that never releases returns once the deadline passes, force-closes
+// the old server (its remaining Calls fail with ErrClosed), and counts
+// the forced close — while a holder that releases promptly never trips
+// the counter.
+func TestReplaceDrainDeadline(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetDrainDeadline(60 * time.Millisecond)
+	a, b, c := newNamedServer(t, 1), newNamedServer(t, 2), newNamedServer(t, 3)
+	if err := reg.Register("jag", a); err != nil {
+		t.Fatal(err)
+	}
+
+	// A well-behaved holder: acquire, release, then swap. No force.
+	if _, release, ok := reg.Acquire("jag"); !ok {
+		t.Fatal("Acquire failed")
+	} else {
+		release()
+	}
+	if err := reg.Replace("jag", b); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.ForcedCloses("jag"); n != 0 {
+		t.Fatalf("clean drain counted as forced: %d", n)
+	}
+	if !a.Closed() {
+		t.Fatal("clean drain left the old server open")
+	}
+
+	// A straggler that never releases: Replace must not block forever.
+	held, release, ok := reg.Acquire("jag")
+	if !ok || held != b {
+		t.Fatal("Acquire returned the wrong server")
+	}
+	start := time.Now()
+	if err := reg.Replace("jag", c); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("Replace returned before the drain deadline: %v", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Replace took far longer than the deadline: %v", elapsed)
+	}
+	if !b.Closed() {
+		t.Fatal("deadline passed but the old server was not force-closed")
+	}
+	if n := reg.ForcedCloses("jag"); n != 1 {
+		t.Fatalf("ForcedCloses = %d, want 1", n)
+	}
+	// The straggler sees ErrClosed, not a hang or a panic.
+	if _, err := held.Predict(make([]float32, jag.InputDim)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("straggler Predict error = %v, want ErrClosed", err)
+	}
+	release() // late release is harmless
+	if n := reg.ForcedCloses("jag"); n != 1 {
+		t.Fatalf("late release moved the counter: %d", n)
+	}
+	if gen := reg.Generation("jag"); gen != 3 {
+		t.Fatalf("generation = %d, want 3", gen)
 	}
 }

@@ -39,7 +39,14 @@
 //     different checkpoints (e.g. the top-k LTFB tournament finishers);
 //   - a Registry (registry.go) mapping model names to independently
 //     configured Servers, each with its own pool, cache, lanes, and
-//     stats — one process serving several named models;
+//     stats — one process serving several named models. The registry is
+//     also the hot-swap point: Replace atomically substitutes the
+//     server behind a name (Acquire holders drain first, bounded by an
+//     optional drain deadline; a per-name generation counter records
+//     each swap), and a Reloader (reload.go) automates it from disk —
+//     polling a spec/checkpoint path by stat signature then SHA-256
+//     fingerprint, canary-testing the rebuilt pool, and promoting new
+//     LTFB winners with rollback on corrupt checkpoints;
 //   - an LRU response cache (cache.go) keyed on (method, quantized
 //     input), exploiting that surrogate queries cluster around design
 //     points of interest;
@@ -50,12 +57,17 @@
 //   - instrumentation (stats.go) built on metrics.Meter: request
 //     latency, batch occupancy, throughput, cache hit/miss, overload
 //     and expired/cancelled counters, per-method request counts,
-//     exposed as a JSON-friendly snapshot.
+//     exposed as a JSON-friendly snapshot;
+//   - calibration (probe.go): CostProbe times the model's forward pass
+//     through the worker's own gather/run/scatter path and fits the
+//     affine per-pass/per-row cost that internal/perfmodel's serving
+//     capacity model predicts QPS and latency from.
 //
 // http.go adds the versioned HTTP surface used by cmd/jagserve
-// (/v1/models, /v1/models/{name}/{method}, per-model stats) with both
-// JSON and binary tensor transports (wire.go); client.go is the matching
-// Go client.
+// (/v1/models, /v1/models/{name}/{method}, per-model stats and
+// reload-aware /healthz) with both JSON and binary tensor transports
+// (wire.go); client.go is the matching Go client. docs/SERVING.md is
+// the operator guide.
 package serve
 
 import (
