@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkServeBatched-8   \t    1929\t    617294 ns/op\t   103.7 rows/sec")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "ServeBatched" || r.CPU != 8 || r.Iterations != 1929 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if m := r.Metrics["ns/op"]; m.Value != 617294 {
+		t.Fatalf("ns/op = %+v", m)
+	}
+	if m := r.Metrics["rows/sec"]; m.Value != 103.7 {
+		t.Fatalf("rows/sec = %+v", m)
+	}
+}
+
+func TestParseLineNoCPUSuffix(t *testing.T) {
+	r, ok := parseLine("BenchmarkWire 100 12.5 ns/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "Wire" || r.CPU != 1 {
+		t.Fatalf("parsed %+v", r)
+	}
+}
+
+func TestParseLineRejectsNonBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t2.5s",
+		"",
+		"BenchmarkBroken-4 notanumber ns/op",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q wrongly parsed as a benchmark", line)
+		}
+	}
+}

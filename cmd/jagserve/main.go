@@ -40,10 +40,21 @@
 //
 //	GET  /v1/models                  list models: methods, dims, readiness, generation
 //	POST /v1/models/{name}/{method}  batched call, JSON or binary tensor body
-//	GET  /v1/models/{name}/stats     per-model latency/occupancy/cache counters
+//	GET  /v1/models/{name}/stats     per-model latency/occupancy/cache counters + stage quantiles
+//	GET  /metrics                    Prometheus text exposition, all models
 //	GET  /healthz                    per-model readiness + reload state; 503 if any model closed
 //	POST /predict                    deprecated alias: default model's "predict"
 //	GET  /stats                      deprecated alias: default model's counters
+//
+// Observability (docs/OBSERVABILITY.md is the full reference): every
+// request gets an X-Request-Id correlation ID (caller-supplied values
+// propagate; responses echo it) and a Server-Timing header decomposing
+// its latency into queue-wait, batch-assembly, and forward spans.
+// -log-format text|json enables a structured access log on stderr, one
+// record per request, carrying the same ID and spans. -debug-addr
+// starts a second, operator-only listener with /debug/pprof/* and a
+// duplicate /metrics, so profiling and scraping survive even when the
+// public listener is saturated — never expose it publicly.
 //
 // Usage:
 //
@@ -68,7 +79,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -127,7 +140,20 @@ func main() {
 	watch := flag.Bool("watch", false, "watch each model's spec/checkpoint path and hot-swap newly written checkpoints in without dropping traffic (canary-tested; a bad checkpoint is rejected and the old model keeps serving)")
 	reloadInterval := flag.Duration("reload-interval", 2*time.Second, "poll period for -watch")
 	drainDeadline := flag.Duration("drain-deadline", 0, "max time a hot swap waits for in-flight callers of the old model before force-closing it (counted as forced_closes in stats; 0 waits forever)")
+	debugAddr := flag.String("debug-addr", "", "optional private listen address serving /debug/pprof/* and a duplicate /metrics (no auth — never expose publicly)")
+	logFormat := flag.String("log-format", "", "structured access log on stderr: \"text\" or \"json\" (empty disables)")
 	flag.Parse()
+
+	var accessLog *slog.Logger
+	switch *logFormat {
+	case "":
+	case "text":
+		accessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		accessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		log.Fatalf("-log-format %q: want \"text\" or \"json\"", *logFormat)
+	}
 
 	// entry is one fully resolved model to register. watchPath is what
 	// -watch polls: the original flag value, so a directory spec keeps
@@ -256,7 +282,27 @@ func main() {
 		}
 	}
 
-	handler := serve.NewRegistryHandler(reg, serve.HandlerConfig{DefaultDeadline: *deadline})
+	// -debug-addr: a second, operator-only listener. Its /metrics
+	// duplicates the public one; /debug/pprof/* is mounted explicitly
+	// (not via the pprof import side effect on DefaultServeMux) so the
+	// profiles exist only on this private address.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.Handle("GET /metrics", serve.MetricsHandler(reg))
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("debug listener on %s (/metrics, /debug/pprof/)", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
+	handler := serve.NewRegistryHandler(reg, serve.HandlerConfig{DefaultDeadline: *deadline, AccessLog: accessLog})
 	hs := &http.Server{Addr: *addr, Handler: handler}
 	drained := make(chan struct{})
 	go func() {

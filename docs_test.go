@@ -60,6 +60,13 @@ func TestDocNamedEntryPointsExist(t *testing.T) {
 		"internal/serve/probe.go":       {"func CostProbe"},
 		"internal/perfmodel/serving.go": {"type ServingScenario", "func FigureS1"},
 		"cmd/figures/main.go":           {`want("S1")`},
+		// docs/OBSERVABILITY.md's contract surface.
+		"internal/serve/metrics.go":     {"func MetricsHandler", "jag_request_latency_seconds", "jag_stage_latency_seconds"},
+		"internal/serve/stats.go":       {`StageQueueWait = "queue_wait"`, `StageEncode = "encode"`},
+		"internal/serve/serve.go":       {"func (s *Server) CallTrace"},
+		"internal/metrics/histogram.go": {"func LatencyBuckets"},
+		"cmd/benchsnap/main.go":         {"jag-bench/v1"},
+		"cmd/jagserve/main.go":          {`"debug-addr"`, `"log-format"`},
 	} {
 		body, err := os.ReadFile(file)
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -31,6 +32,11 @@ const (
 	// ScalarsOnlyHeader ("true"/"1") trims predict rows to the leading
 	// scalar observables when the body carries no "scalars_only" field.
 	ScalarsOnlyHeader = "X-Scalars-Only"
+	// RequestIDHeader carries the request's correlation ID. A caller-set
+	// value is propagated (so a proxy or client can stitch its own trace
+	// together); absent one, the handler assigns a fresh ID. Either way
+	// the response echoes it and the structured access log records it.
+	RequestIDHeader = "X-Request-Id"
 )
 
 // PredictRequest is the JSON body of a model-method call: either one
@@ -144,6 +150,13 @@ type HandlerConfig struct {
 	// DefaultDeadline is applied to calls that don't carry their own
 	// deadline_ms; 0 leaves them unbounded.
 	DefaultDeadline time.Duration
+	// AccessLog, when non-nil, receives one structured "request" record
+	// per HTTP request: method, path, status, duration, response bytes,
+	// the request's correlation ID, and — for call routes — the
+	// per-stage trace spans (queue wait, batch assembly, forward,
+	// encode) and batch size. jagserve -log-format json wires a
+	// slog.JSONHandler here.
+	AccessLog *slog.Logger
 }
 
 // NewHandler exposes a single Server over the full v1 HTTP surface by
@@ -166,9 +179,16 @@ func NewHandlerConfig(s *Server, hc HandlerConfig) http.Handler {
 //	GET  /v1/models                    model listing: methods, dims, readiness, generation
 //	POST /v1/models/{name}/{method}    batched call (JSON or binary tensor body)
 //	GET  /v1/models/{name}/stats       per-model serving counters + reload generation
+//	GET  /metrics                      Prometheus text exposition, every model
 //	GET  /healthz                      per-model readiness + reload state; 503 if any model closed
 //	POST /predict                      deprecated: default model's "predict"
 //	GET  /stats                        deprecated: default model's counters
+//
+// Every request is assigned (or propagates) an X-Request-Id correlation
+// ID, echoed on the response; call routes additionally emit a
+// Server-Timing header with the request's stage spans. With
+// HandlerConfig.AccessLog set, each request also produces one
+// structured log record carrying the same ID and spans.
 //
 // Call routes pin their server with Registry.Acquire, so a hot swap
 // (Registry.Replace, e.g. a Reloader promoting a new checkpoint)
@@ -236,6 +256,7 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1,
 			ForcedCloses: reg.ForcedCloses(name)})
 	})
+	mux.Handle("GET /metrics", MetricsHandler(reg))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		resp := HealthResponse{Status: "ok", Models: map[string]ModelHealth{}}
 		code := http.StatusOK
@@ -286,7 +307,7 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1,
 			ForcedCloses: reg.ForcedCloses(name)})
 	})
-	return mux
+	return withObservability(mux, hc.AccessLog)
 }
 
 // poolShape extracts the replica count and ensemble flag from models
@@ -389,6 +410,7 @@ func serveCall(w http.ResponseWriter, r *http.Request, s *Server, method string,
 	}
 	outputs := make([][]float32, len(inputs))
 	errs := make([]error, len(inputs))
+	traces := make([]Trace, len(inputs))
 	// Submit rows concurrently so one HTTP batch benefits from the same
 	// coalescing as independent clients — but throttled to half the
 	// queue depth, so a single large batch cannot trip its own
@@ -405,12 +427,30 @@ func serveCall(w http.ResponseWriter, r *http.Request, s *Server, method string,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			outputs[i], errs[i] = s.Call(ctx, method, inputs[i], class)
+			outputs[i], traces[i], errs[i] = s.CallTrace(ctx, method, inputs[i], class)
 			<-sem
 		}(i)
 	}
 	wg.Wait()
 	rowErrs, failed := collectRowErrors(errs)
+	if agg, ok := mergeTraces(traces, errs); ok {
+		// Before the status line: headers are frozen at first write. The
+		// access-log middleware reads the same spans from the context.
+		w.Header().Set("Server-Timing", serverTimingValue(agg))
+		if tc := traceFrom(r.Context()); tc != nil {
+			tc.setCall(agg)
+		}
+	}
+	// recordEncode charges a response-rendering span to the encode stage
+	// histogram and the request's trace, on whichever transport path the
+	// response takes.
+	recordEncode := func(start time.Time) {
+		d := time.Since(start)
+		s.stats.observeStage(StageEncode, d.Seconds())
+		if tc := traceFrom(r.Context()); tc != nil {
+			tc.setEncode(d)
+		}
+	}
 	if scalarsOnly && method == MethodPredict {
 		for i, row := range outputs {
 			if len(row) > jag.ScalarDim {
@@ -429,6 +469,7 @@ func serveCall(w http.ResponseWriter, r *http.Request, s *Server, method string,
 		wantBinary = binaryReq
 	}
 	if failed == 0 && wantBinary {
+		encStart := time.Now()
 		buf, err := EncodeFrame(outputs)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
@@ -436,19 +477,63 @@ func serveCall(w http.ResponseWriter, r *http.Request, s *Server, method string,
 		}
 		w.Header().Set("Content-Type", ContentTypeTensor)
 		_, _ = w.Write(buf)
+		recordEncode(encStart)
 		return
 	}
 	resp := PredictResponse{Outputs: outputs}
 	if failed > 0 {
 		resp.Errors = rowErrs
 	}
+	encStart := time.Now()
 	if failed == len(inputs) {
 		// Nothing succeeded: surface the severest row status at the
 		// top level (the body still carries the per-row detail).
 		writeJSONStatus(w, batchStatus(rowErrs), resp)
+		recordEncode(encStart)
 		return
 	}
 	writeJSON(w, resp)
+	recordEncode(encStart)
+}
+
+// mergeTraces folds per-row traces into one request-level span record:
+// the maximum of each stage across the rows that ran the model. Rows of
+// one HTTP batch move through the pipeline concurrently, so maxima —
+// not sums — bound the request's critical path. A request answered
+// entirely from cache reports only the CacheHit marker; a request with
+// no successful rows reports nothing.
+func mergeTraces(traces []Trace, errs []error) (Trace, bool) {
+	var agg Trace
+	succeeded, ran := 0, 0
+	for i, t := range traces {
+		if errs[i] != nil {
+			continue
+		}
+		succeeded++
+		if t.CacheHit {
+			continue
+		}
+		ran++
+		if t.QueueWait > agg.QueueWait {
+			agg.QueueWait = t.QueueWait
+		}
+		if t.Assembly > agg.Assembly {
+			agg.Assembly = t.Assembly
+		}
+		if t.Forward > agg.Forward {
+			agg.Forward = t.Forward
+		}
+		if t.Batch > agg.Batch {
+			agg.Batch = t.Batch
+		}
+	}
+	if succeeded == 0 {
+		return Trace{}, false
+	}
+	if ran == 0 {
+		return Trace{CacheHit: true}, true
+	}
+	return agg, true
 }
 
 // isTrue parses a permissive boolean header value.

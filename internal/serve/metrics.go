@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// Prometheus exposition for the serving stack. MetricsHandler renders
+// every registered model's counters, gauges, and latency histograms in
+// the Prometheus text format, one scrape at a time.
+//
+// The exposition is rebuilt from snapshots on every scrape rather than
+// shared with the hot path: the pipeline's own instruments (lock-free
+// histograms, one short-lived mutex around the counters) are read, never
+// written, here — so a slow or hostile scraper cannot block a batch
+// flush, and a hot swap (Registry.Replace) needs no metric re-wiring.
+// Counters therefore reset when a reload swaps a model's generation,
+// which Prometheus rate() absorbs as an ordinary counter reset; the
+// jag_generation gauge says when that happened.
+//
+// Metric reference (all series carry a model label):
+//
+//	jag_requests_total{model,method,lane}   completed rows
+//	jag_batches_total                       forward passes
+//	jag_overloads_total                     rows rejected by backpressure
+//	jag_expired_total, jag_cancelled_total  rows dropped before a pass
+//	jag_model_failures_total                rows failed by the model itself
+//	jag_cache_hits_total, jag_cache_misses_total
+//	jag_cache_hit_rate                      hits/(hits+misses), 0 when idle
+//	jag_queue_depth                         in-flight rows (live gauge)
+//	jag_lane_depth{lane}                    queued rows per priority lane
+//	jag_mean_batch                          mean rows per forward pass
+//	jag_model_ready                         1 while serving, 0 once closed
+//	jag_generation                          hot-swap generation (1 = never swapped)
+//	jag_reloads_total                       completed hot swaps
+//	jag_reload_rejected_total               reload attempts rolled back
+//	jag_reload_error                        1 while the last reload attempt failed
+//	jag_forced_closes_total                 drains cut short by the drain deadline
+//	jag_uptime_seconds                      current generation's serving time
+//	jag_request_latency_seconds             end-to-end latency histogram
+//	jag_stage_latency_seconds{stage}        per-stage latency histograms
+//	                                        (queue_wait, batch_assembly,
+//	                                        forward, encode)
+//
+// docs/OBSERVABILITY.md is the operator-facing reference.
+
+// promContentType is the Prometheus text exposition media type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsHandler serves GET /metrics for every model of a Registry.
+// NewRegistryHandler mounts it on the v1 surface; mount it separately to
+// scrape on a different listener (as jagserve -debug-addr does).
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := metrics.NewRegistry()
+		for _, name := range reg.Names() {
+			s, ok := reg.Get(name)
+			if !ok {
+				continue
+			}
+			collectModel(m, reg, name, s)
+		}
+		w.Header().Set("Content-Type", promContentType)
+		_ = m.WritePrometheus(w)
+	})
+}
+
+// collectModel fills the scrape registry with one model's series.
+func collectModel(m *metrics.Registry, reg *Registry, name string, s *Server) {
+	snap := s.Stats()
+	l := metrics.Labels{"model": name}
+
+	for method, lanes := range snap.LaneRequests {
+		for lane, n := range lanes {
+			m.Counter("jag_requests_total", "Completed rows by model, method, and priority lane.",
+				metrics.Labels{"model": name, "method": method, "lane": lane}).Add(uint64(n))
+		}
+	}
+	m.Counter("jag_batches_total", "Forward passes run.", l).Add(uint64(snap.Batches))
+	m.Counter("jag_overloads_total", "Rows rejected by queue-depth backpressure.", l).Add(uint64(snap.Overloads))
+	m.Counter("jag_expired_total", "Rows dropped before a forward pass: deadline passed.", l).Add(uint64(snap.Expired))
+	m.Counter("jag_cancelled_total", "Rows dropped before a forward pass: context cancelled.", l).Add(uint64(snap.Cancelled))
+	m.Counter("jag_model_failures_total", "Rows failed by the model's own forward pass.", l).Add(uint64(snap.ModelFailures))
+	m.Counter("jag_cache_hits_total", "Rows answered from the LRU response cache.", l).Add(uint64(snap.CacheHits))
+	m.Counter("jag_cache_misses_total", "Rows that ran the model and populated the cache.", l).Add(uint64(snap.CacheMisses))
+	if total := snap.CacheHits + snap.CacheMisses; total > 0 {
+		m.Gauge("jag_cache_hit_rate", "Cache hits over answered rows.", l).
+			Set(float64(snap.CacheHits) / float64(total))
+	} else {
+		m.Gauge("jag_cache_hit_rate", "Cache hits over answered rows.", l).Set(0)
+	}
+	m.Gauge("jag_queue_depth", "Rows admitted and not yet answered.", l).Set(float64(s.Inflight()))
+	for lane, depth := range s.LaneDepths() {
+		m.Gauge("jag_lane_depth", "Rows queued per priority lane.",
+			metrics.Labels{"model": name, "lane": lane}).Set(float64(depth))
+	}
+	m.Gauge("jag_mean_batch", "Mean rows per forward pass.", l).Set(snap.MeanBatch)
+	ready := 1.0
+	if s.Closed() {
+		ready = 0
+	}
+	m.Gauge("jag_model_ready", "1 while the model accepts requests.", l).Set(ready)
+	m.Gauge("jag_uptime_seconds", "Serving time of the current generation.", l).Set(snap.UptimeSec)
+
+	gen := reg.Generation(name)
+	m.Gauge("jag_generation", "Hot-swap generation (1 = never swapped).", l).Set(float64(gen))
+	m.Counter("jag_reloads_total", "Completed hot swaps.", l).Add(uint64(gen - 1))
+	m.Counter("jag_forced_closes_total", "Hot-swap drains cut short by the drain deadline.", l).
+		Add(uint64(reg.ForcedCloses(name)))
+	if rs, ok := reg.ReloadState(name); ok {
+		m.Counter("jag_reload_rejected_total", "Reload attempts rejected (load error or canary failure).", l).
+			Add(uint64(rs.Rejections))
+		failed := 0.0
+		if rs.LastError != "" {
+			failed = 1
+		}
+		m.Gauge("jag_reload_error", "1 while the most recent reload attempt failed.", l).Set(failed)
+	}
+
+	m.SetHistogram("jag_request_latency_seconds", "End-to-end request latency (enqueue to scatter).",
+		l, s.LatencyHistogram())
+	for stage, h := range s.StageHistograms() {
+		m.SetHistogram("jag_stage_latency_seconds", "Per-stage latency: queue_wait, batch_assembly, forward, encode.",
+			metrics.Labels{"model": name, "stage": stage}, h)
+	}
+}

@@ -41,13 +41,14 @@ type Reloader struct {
 	path string
 	cfg  ReloaderConfig
 
-	mu        sync.Mutex
-	sig       string // last stat signature seen
-	hash      string // content fingerprint of the serving generation
-	reloads   int64  // successful swaps performed by this reloader
-	lastCheck time.Time
-	lastSwap  time.Time
-	lastErr   string
+	mu         sync.Mutex
+	sig        string // last stat signature seen
+	hash       string // content fingerprint of the serving generation
+	reloads    int64  // successful swaps performed by this reloader
+	rejections int64  // failed attempts: load error or canary rejection
+	lastCheck  time.Time
+	lastSwap   time.Time
+	lastErr    string
 }
 
 // ReloaderConfig tunes a Reloader.
@@ -84,6 +85,12 @@ type ReloadState struct {
 	Generation int64 `json:"generation"`
 	// Reloads counts successful hot swaps performed by this reloader.
 	Reloads int64 `json:"reloads"`
+	// Rejections counts failed reload attempts — a checkpoint that
+	// would not load or failed its canary pass — each of which left the
+	// previous generation serving. Exposed as jag_reload_rejected_total
+	// on /metrics, so a training loop writing poison checkpoints pages
+	// someone instead of silently never promoting.
+	Rejections int64 `json:"rejected_reloads"`
 	// Fingerprint is the content hash of the serving generation's spec
 	// + checkpoints.
 	Fingerprint string `json:"fingerprint,omitempty"`
@@ -133,6 +140,7 @@ func (rl *Reloader) State() ReloadState {
 		Path:        rl.path,
 		Generation:  rl.reg.Generation(rl.name),
 		Reloads:     rl.reloads,
+		Rejections:  rl.rejections,
 		Fingerprint: rl.hash,
 		LastCheck:   rl.lastCheck,
 		LastSwap:    rl.lastSwap,
@@ -194,6 +202,7 @@ func (rl *Reloader) Check() (swapped bool, err error) {
 	switch {
 	case err != nil:
 		rl.lastErr = err.Error()
+		rl.rejections++
 	case examined:
 		rl.lastErr = ""
 	}

@@ -54,10 +54,14 @@
 //     QueueDepth across all of a server's methods and lanes; excess
 //     callers fail fast with ErrOverloaded instead of queueing without
 //     bound;
-//   - instrumentation (stats.go) built on metrics.Meter: request
-//     latency, batch occupancy, throughput, cache hit/miss, overload
-//     and expired/cancelled counters, per-method request counts,
-//     exposed as a JSON-friendly snapshot;
+//   - instrumentation (stats.go): counters plus lock-free streaming
+//     latency histograms — end-to-end and per pipeline stage
+//     (queue_wait, batch_assembly, forward, encode) — exposed as a
+//     JSON snapshot with p50/p90/p99/p999 quantiles, as a Prometheus
+//     exposition (metrics.go, GET /metrics), and per request as a
+//     Trace returned by CallTrace. Every HTTP request carries an
+//     X-Request-Id (middleware.go) and its response a Server-Timing
+//     stage decomposition; docs/OBSERVABILITY.md is the reference;
 //   - calibration (probe.go): CostProbe times the model's forward pass
 //     through the worker's own gather/run/scatter path and fits the
 //     affine per-pass/per-row cost that internal/perfmodel's serving
@@ -234,8 +238,9 @@ func (c Config) withDefaults() Config {
 
 // result is what the pipeline hands back to a waiting caller.
 type result struct {
-	y   []float32
-	err error
+	y     []float32
+	trace Trace
+	err   error
 }
 
 // request is one queued prediction with its lifecycle and reply channel.
@@ -252,6 +257,10 @@ type request struct {
 type batch struct {
 	method string
 	reqs   []*request
+	// flushed is when the batch loop closed the batch and handed it to
+	// the workers: the end of every row's queue-wait span and the start
+	// of the assembly span.
+	flushed time.Time
 }
 
 // methodQueue is one method's pair of priority lanes. Batches are keyed
@@ -402,26 +411,35 @@ func (s *Server) PredictPriority(ctx context.Context, x []float32, class Priorit
 // on a miss; on a cache hit it is the shared cached row and must not be
 // mutated.
 func (s *Server) Call(ctx context.Context, method string, x []float32, class Priority) ([]float32, error) {
+	y, _, err := s.CallTrace(ctx, method, x, class)
+	return y, err
+}
+
+// CallTrace is Call returning the request's span record as well: where
+// the latency went, stage by stage (see Trace). The trace is only
+// meaningful when err is nil — a rejected or dropped request never
+// completed the pipeline.
+func (s *Server) CallTrace(ctx context.Context, method string, x []float32, class Priority) ([]float32, Trace, error) {
 	if class < 0 || class >= numLanes {
-		return nil, fmt.Errorf("serve: unknown priority %d", class)
+		return nil, Trace{}, fmt.Errorf("serve: unknown priority %d", class)
 	}
 	q, ok := s.queues[method]
 	if !ok {
-		return nil, fmt.Errorf("%w %q (model serves: %s)",
+		return nil, Trace{}, fmt.Errorf("%w %q (model serves: %s)",
 			ErrUnknownMethod, method, strings.Join(s.methods, ", "))
 	}
 	if want := s.dims[method].In; len(x) != want {
-		return nil, fmt.Errorf("serve: %s input dim %d, want %d", method, len(x), want)
+		return nil, Trace{}, fmt.Errorf("serve: %s input dim %d, want %d", method, len(x), want)
 	}
 	for _, v := range x {
 		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
-			return nil, fmt.Errorf("serve: non-finite input %v", v)
+			return nil, Trace{}, fmt.Errorf("serve: non-finite input %v", v)
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		// Dead on arrival: reject at admission, same accounting as a
 		// flush-time drop — the row never reaches the model.
-		return nil, s.dropStale(err)
+		return nil, Trace{}, s.dropStale(err)
 	}
 	var key string
 	if s.cache != nil {
@@ -430,14 +448,14 @@ func (s *Server) Call(ctx context.Context, method string, x []float32, class Pri
 		key = method + "\x00" + quantKey(x, s.cfg.CacheQuantum)
 		if y, ok := s.cache.get(key); ok {
 			s.stats.cacheHit()
-			return y, nil
+			return y, Trace{CacheHit: true}, nil
 		}
 	}
 
 	if s.inflight.Add(1) > int64(s.cfg.QueueDepth) {
 		s.inflight.Add(-1)
 		s.stats.overload()
-		return nil, ErrOverloaded
+		return nil, Trace{}, ErrOverloaded
 	}
 	req := &request{ctx: ctx, x: x, class: class, enqueued: time.Now(), resp: make(chan result, 1)}
 
@@ -445,7 +463,7 @@ func (s *Server) Call(ctx context.Context, method string, x []float32, class Pri
 	if s.closed {
 		s.mu.RUnlock()
 		s.inflight.Add(-1)
-		return nil, ErrClosed
+		return nil, Trace{}, ErrClosed
 	}
 	q.lanes[class] <- req // cannot block: inflight <= QueueDepth == cap(lane)
 	s.mu.RUnlock()
@@ -468,17 +486,17 @@ func (s *Server) Call(ctx context.Context, method string, x []float32, class Pri
 		// The queued row is now stale; the worker discards it at flush
 		// time (and does the expired/cancelled accounting there).
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return nil, ErrExpired
+			return nil, Trace{}, ErrExpired
 		}
-		return nil, ErrCancelled
+		return nil, Trace{}, ErrCancelled
 	}
 }
 
 // finish unwraps a pipeline reply for its caller, caching successful
 // rows under key.
-func (s *Server) finish(key string, res result) ([]float32, error) {
+func (s *Server) finish(key string, res result) ([]float32, Trace, error) {
 	if res.err != nil {
-		return nil, res.err
+		return nil, res.trace, res.err
 	}
 	if s.cache != nil {
 		// Counted only when the model actually answered, so neither
@@ -488,7 +506,7 @@ func (s *Server) finish(key string, res result) ([]float32, error) {
 		s.stats.cacheMiss()
 		s.cache.put(key, append([]float32(nil), res.y...))
 	}
-	return res.y, nil
+	return res.y, res.trace, nil
 }
 
 // dropStale counts one context-dead request and maps its context error
@@ -594,7 +612,7 @@ func (s *Server) batchLoop(method string, q *methodQueue) {
 			pending = append(pending, r)
 		}
 		timer.Stop()
-		s.batches <- &batch{method: method, reqs: pending}
+		s.batches <- &batch{method: method, reqs: pending, flushed: time.Now()}
 		carry = s.reapBulk(&qb)
 		if carry == nil && qi == nil && qb == nil {
 			return
@@ -662,6 +680,12 @@ func (s *Server) workerLoop() {
 		for i, r := range live {
 			copy(x.Row(i), r.x)
 		}
+		// Stage spans: assembly is flush → forward start (worker wait +
+		// stale reap + gather); forward is the pass itself, including
+		// the modeled PassOverhead, which stands in for dispatch cost.
+		// Both are per-batch properties shared by every row's trace.
+		fwdStart := time.Now()
+		assembly := fwdStart.Sub(b.flushed)
 		if s.cfg.PassOverhead > 0 {
 			// Spin rather than sleep: modeled dispatch overhead keeps
 			// the execution unit busy, like a kernel launch does.
@@ -669,6 +693,9 @@ func (s *Server) workerLoop() {
 			}
 		}
 		y, err := s.model.Run(b.method, x)
+		fwdDur := time.Since(fwdStart)
+		s.stats.observeStage(StageAssembly, assembly.Seconds())
+		s.stats.observeStage(StageForward, fwdDur.Seconds())
 		if err != nil {
 			// The model rejected a structurally valid batch: fail its
 			// rows, not the server. The method set was checked at
@@ -688,8 +715,15 @@ func (s *Server) workerLoop() {
 			// result.
 			out := make([]float32, y.Cols)
 			copy(out, y.Row(i))
-			s.stats.request(b.method, now.Sub(r.enqueued))
-			r.resp <- result{y: out}
+			wait := b.flushed.Sub(r.enqueued)
+			s.stats.observeStage(StageQueueWait, wait.Seconds())
+			s.stats.request(b.method, r.class, now.Sub(r.enqueued))
+			r.resp <- result{y: out, trace: Trace{
+				QueueWait: wait,
+				Assembly:  assembly,
+				Forward:   fwdDur,
+				Batch:     len(live),
+			}}
 			s.inflight.Add(-1)
 		}
 		s.stats.batch(len(live))
