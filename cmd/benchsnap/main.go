@@ -82,6 +82,7 @@ func parseLine(line string) (Result, bool) {
 		CPU:     1,
 		Metrics: map[string]Measurement{},
 	}
+	// m[2] and m[3] matched \d+ in benchLine, so these cannot fail.
 	if m[2] != "" {
 		r.CPU, _ = strconv.Atoi(m[2])
 	}
@@ -133,7 +134,9 @@ func main() {
 	}
 	buf = append(buf, '\n')
 	if *out == "" {
-		os.Stdout.Write(buf)
+		if _, err := os.Stdout.Write(buf); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {

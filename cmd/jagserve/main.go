@@ -317,6 +317,8 @@ func main() {
 		// served (e.g. the later waves of a large throttled batch).
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		// Shutdown's only error is the deadline expiring; the process
+		// exits either way, so there is nobody left to report it to.
 		_ = hs.Shutdown(ctx)
 		watchCancel() // no hot swaps once shutdown starts
 		reg.Close()

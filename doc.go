@@ -64,6 +64,14 @@
 // count (cmd/figures -fig S1, examples/capacity), and validated
 // against a measured in-process benchmark in capacity_test.go.
 //
+// The conventions this stack depends on are machine-checked:
+// cmd/jaglint runs internal/lint's five analyzers (released
+// Registry.Acquire pins, uncopied atomic-holding structs, canonical
+// jag_* metric names, flowing contexts, non-aliased tensor
+// destinations) over every package, in CI and inside tier-1 via
+// TestSuiteCleanOnRepo; docs/STATIC_ANALYSIS.md documents each
+// invariant and the lint:ignore suppression syntax.
+//
 // Start with README.md for the layout and quickstart, docs/SERVING.md
 // for the serving operator guide, and EXPERIMENTS.md for
 // paper-vs-measured results. The benchmarks in bench_test.go

@@ -67,6 +67,14 @@ func TestDocNamedEntryPointsExist(t *testing.T) {
 		"internal/metrics/histogram.go": {"func LatencyBuckets"},
 		"cmd/benchsnap/main.go":         {"jag-bench/v1"},
 		"cmd/jagserve/main.go":          {`"debug-addr"`, `"log-format"`},
+		// docs/STATIC_ANALYSIS.md's contract surface: the analyzer
+		// suite, its CLI, the tier-1 twin of the CI gate, and the test
+		// that stages the leak acquirerelease exists to catch.
+		"cmd/jaglint/main.go":             {`"list"`, `"only"`},
+		"internal/lint/lint.go":           {"func All", "lint:ignore"},
+		"internal/lint/lint_test.go":      {"func TestSuiteCleanOnRepo"},
+		"internal/serve/registry_test.go": {"func TestReplaceLeakedAcquireForcesClose"},
+		".github/workflows/ci.yml":        {"static-analysis:", "race-stress:", "gofmt -s -l"},
 	} {
 		body, err := os.ReadFile(file)
 		if err != nil {

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicField guards the lock-free instruments in internal/metrics
+// (and any struct built the same way). Two invariants:
+//
+//  1. A struct holding sync/atomic fields (atomic.Uint64 and friends,
+//     directly or via an embedded struct) must never be copied: a copy
+//     forks the counters, and updates to the copy are silently lost to
+//     every reader of the original. Reported: value receivers on such
+//     types, assignments and function arguments that copy such a value,
+//     and range clauses whose element variable copies one.
+//
+//  2. A plain integer field tagged `// lint:atomic` is a declaration
+//     that every access goes through sync/atomic functions; any direct
+//     read, write, or increment is reported — only &x.field handed to a
+//     sync/atomic call is allowed.
+//
+// Slices of atomics (e.g. Histogram's counts []atomic.Uint64) are fine
+// to copy: the header copy shares the backing counters.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "structs with sync/atomic fields must not be copied; lint:atomic fields only accessed atomically",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	reportCopies(pass)
+	reportDirectTaggedAccess(pass)
+	return nil
+}
+
+// --- invariant 1: no copies of atomic-holding structs ------------------
+
+// holdsAtomics reports whether t is a struct type that directly embeds
+// sync/atomic values (not behind a pointer, slice, or map).
+func holdsAtomics(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isAtomicType(ft) {
+			return true
+		}
+		if arr, ok := ft.Underlying().(*types.Array); ok {
+			ft = arr.Elem()
+			if isAtomicType(ft) {
+				return true
+			}
+		}
+		if _, ok := ft.Underlying().(*types.Struct); ok && holdsAtomics(ft, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// copyDiag explains one copy site.
+func copyDiag(pass *Pass, pos ast.Node, what string, t types.Type) {
+	name := namedTypeName(t)
+	if name == "" {
+		name = t.String()
+	}
+	pass.Reportf(pos.Pos(), "%s copies %s, which holds sync/atomic fields; updates to the copy are lost — use a pointer", what, name)
+}
+
+// copiesAtomics reports whether evaluating expr as a value copies an
+// atomic-holding struct: true for variables, field selections, derefs,
+// and index expressions of such a type (composite literals and calls
+// construct fresh values and are exempt).
+func copiesAtomics(info *types.Info, expr ast.Expr) (types.Type, bool) {
+	expr = ast.Unparen(expr)
+	switch expr.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return nil, false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	if holdsAtomics(tv.Type, nil) {
+		return tv.Type, true
+	}
+	return nil, false
+}
+
+func reportCopies(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil && len(n.Recv.List) == 1 {
+					rt := info.TypeOf(n.Recv.List[0].Type)
+					if rt != nil {
+						if _, isPtr := rt.Underlying().(*types.Pointer); !isPtr && holdsAtomics(rt, nil) {
+							copyDiag(pass, n.Recv.List[0].Type, "value receiver of "+n.Name.Name, rt)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// `_ = v` discards the value; nothing observable is
+					// forked.
+					if len(n.Lhs) == len(n.Rhs) {
+						if blank, ok := n.Lhs[i].(*ast.Ident); ok && blank.Name == "_" {
+							continue
+						}
+					}
+					if t, ok := copiesAtomics(info, rhs); ok {
+						copyDiag(pass, rhs, "assignment", t)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if t, ok := copiesAtomics(info, v); ok {
+						copyDiag(pass, v, "assignment", t)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if t, ok := copiesAtomics(info, arg); ok {
+						copyDiag(pass, arg, "argument", t)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if t, ok := copiesAtomics(info, res); ok {
+						copyDiag(pass, res, "return", t)
+					}
+				}
+			case *ast.RangeStmt:
+				if t := rangeValueType(info, n); t != nil && holdsAtomics(t, nil) {
+					copyDiag(pass, n.Value, "range element", t)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rangeValueType resolves the type of the range value variable, whether
+// freshly declared (:=) or pre-existing.
+func rangeValueType(info *types.Info, n *ast.RangeStmt) types.Type {
+	id, ok := n.Value.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj.Type()
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj.Type()
+	}
+	return nil
+}
+
+// --- invariant 2: lint:atomic-tagged fields ----------------------------
+
+// taggedAtomicFields collects the field objects whose declaration
+// carries a `// lint:atomic` comment (doc comment above or trailing
+// line comment).
+func taggedAtomicFields(pass *Pass) map[types.Object]bool {
+	tagged := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldTaggedAtomic(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						tagged[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tagged
+}
+
+func fieldTaggedAtomic(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "lint:atomic") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func reportDirectTaggedAccess(pass *Pass) {
+	tagged := taggedAtomicFields(pass)
+	if len(tagged) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+	inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || !tagged[selection.Obj()] {
+			return true
+		}
+		if atomicAddressUse(info, stack) {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "field %s is tagged lint:atomic; access it through sync/atomic (&x.%s into atomic.Load/Add/Store), not directly",
+			sel.Sel.Name, sel.Sel.Name)
+		return true
+	})
+}
+
+// atomicAddressUse reports whether the selector on top of the stack is
+// used as &x.f passed directly to a sync/atomic function.
+func atomicAddressUse(info *types.Info, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	unary, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || unary.Op.String() != "&" {
+		return false
+	}
+	for i := len(stack) - 2; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(info, call)
+		return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+	}
+	return false
+}

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, typechecked package: the unit analyzers run
+// over.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the go-list patterns in moduleDir and returns the
+// matched packages parsed from source and typechecked, with imports
+// satisfied by export data from the build cache (`go list -export`
+// compiles what is missing). Test files are not loaded — the suite
+// guards production invariants; fixtures exercising the analyzers live
+// under testdata and are loaded by linttest instead.
+//
+// The loader shells out to the go tool only — no third-party module is
+// involved — so it works in the offline CI sandbox.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	deps := map[string]*listedPkg{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		lp := p
+		deps[p.ImportPath] = &lp
+	}
+
+	// -deps mixes dependencies in with the matches; re-list without it
+	// to name the target packages exactly.
+	targets, err := listTargets(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exp := &exportImporter{fset: fset, deps: deps, loaded: map[string]*types.Package{}}
+	var pkgs []*Package
+	for _, path := range targets {
+		lp, ok := deps[path]
+		if !ok {
+			return nil, fmt.Errorf("go list did not describe %q", path)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", path, lp.Error.Err)
+		}
+		if lp.Name == "main" && len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typecheckDir(fset, exp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and typechecks every non-test .go file of one
+// directory as a single package. It is the fixture loader behind
+// linttest.Run: testdata directories are invisible to go list, so the
+// fixture's stdlib (and module) imports resolve through the same lazy
+// export-data importer the pattern loader uses.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e, "_test.go") {
+			goFiles = append(goFiles, filepath.Base(e))
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	exp := &exportImporter{fset: fset, deps: map[string]*listedPkg{}, loaded: map[string]*types.Package{}}
+	return typecheckDir(fset, exp, "testdata/"+filepath.Base(dir), dir, goFiles)
+}
+
+// listTargets names the packages matching the patterns (no -deps).
+func listTargets(moduleDir string, patterns []string) ([]string, error) {
+	cmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var targets []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			targets = append(targets, line)
+		}
+	}
+	return targets, nil
+}
+
+// typecheckDir parses the named files of one directory and typechecks
+// them as a package.
+func typecheckDir(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// newTypesInfo allocates the Info maps every analyzer relies on.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// exportImporter satisfies go/types imports from build-cache export
+// data (the Export field of `go list -export -json`), via the standard
+// library's gc importer.
+type exportImporter struct {
+	fset   *token.FileSet
+	deps   map[string]*listedPkg
+	loaded map[string]*types.Package
+	gc     types.Importer
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := e.loaded[path]; ok {
+		return p, nil
+	}
+	if e.gc == nil {
+		e.gc = importer.ForCompiler(e.fset, "gc", e.lookup)
+	}
+	p, err := e.gc.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	e.loaded[path] = p
+	return p, nil
+}
+
+// lookup opens the build-cache export file for one import path,
+// shelling out to `go list -export` for paths the initial -deps sweep
+// did not cover (e.g. stdlib imports of test fixtures).
+func (e *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	lp, ok := e.deps[path]
+	if !ok || lp.Export == "" {
+		found, err := exportFileFor(path)
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		lp = &listedPkg{ImportPath: path, Export: found}
+		e.deps[path] = lp
+	}
+	return os.Open(lp.Export)
+}
+
+// exportFileFor asks the go tool for one package's export-data file.
+func exportFileFor(path string) (string, error) {
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	file := strings.TrimSpace(string(out))
+	if file == "" {
+		return "", fmt.Errorf("go list -export %s: empty Export", path)
+	}
+	return file, nil
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// MetricName makes metric registration failures a build-time report
+// instead of a runtime panic. For every Registry.Counter / Gauge /
+// Histogram / SetHistogram call (matched by method name on a type named
+// Registry, so both internal/metrics and test stubs qualify):
+//
+//   - the name argument must be a compile-time string constant — the
+//     registry's exposition contract hinges on a stable name set;
+//   - the constant must match ^jag_[a-z0-9_]+$, the project's
+//     Prometheus naming convention (docs/OBSERVABILITY.md);
+//   - one name registered under two kinds (Counter then Gauge, say)
+//     panics inside metrics.Registry.series today; the analyzer reports
+//     the conflicting call and points at the first registration;
+//   - every metrics.Labels composite literal must use constant label
+//     keys matching the Prometheus label charset ^[a-z_][a-z0-9_]*$ —
+//     a computed key would fork series cardinality invisibly.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names are jag_-prefixed string constants; kinds must not collide; label keys are literals",
+	Run:  runMetricName,
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^jag_[a-z0-9_]+$`)
+	labelKeyRe   = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
+
+// metricKinds maps registration method name to the family kind it
+// creates, mirroring metrics.Registry.
+var metricKinds = map[string]string{
+	"Counter":      "counter",
+	"Gauge":        "gauge",
+	"Histogram":    "histogram",
+	"SetHistogram": "histogram",
+}
+
+func runMetricName(pass *Pass) error {
+	type reg struct {
+		kind string
+		line int
+	}
+	firstSeen := map[string]reg{}
+	info := pass.TypesInfo
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				checkLabelsLit(pass, lit)
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := metricRegistration(info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			nameArg := call.Args[0]
+			tv := info.Types[nameArg]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(nameArg.Pos(), "metric name must be a compile-time string constant, not a computed value")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRe.MatchString(name) {
+				pass.Reportf(nameArg.Pos(), "metric name %q does not match ^jag_[a-z0-9_]+$ (project Prometheus naming convention)", name)
+				return true
+			}
+			if prev, ok := firstSeen[name]; ok && prev.kind != kind {
+				pass.Reportf(call.Pos(), "metric %q registered as a %s here but as a %s at line %d; metrics.Registry panics on kind conflicts at runtime",
+					name, kind, prev.kind, prev.line)
+			} else if !ok {
+				firstSeen[name] = reg{kind: kind, line: pass.Fset.Position(call.Pos()).Line}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// metricRegistration reports whether call registers a metric family and
+// which kind: a method from metricKinds on a receiver type named
+// Registry whose first parameter is a string.
+func metricRegistration(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	kind, ok := metricKinds[sel.Sel.Name]
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || namedTypeName(sig.Recv().Type()) != "Registry" {
+		return "", false
+	}
+	if sig.Params().Len() == 0 {
+		return "", false
+	}
+	if basic, ok := sig.Params().At(0).Type().Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return "", false
+	}
+	return kind, true
+}
+
+// checkLabelsLit validates one metrics.Labels{...} composite literal:
+// constant keys in the Prometheus label charset.
+func checkLabelsLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || namedTypeName(tv.Type) != "Labels" {
+		return
+	}
+	if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		ktv := pass.TypesInfo.Types[kv.Key]
+		if ktv.Value == nil || ktv.Value.Kind() != constant.String {
+			pass.Reportf(kv.Key.Pos(), "label key must be a literal string, not a computed value — computed keys fork series cardinality invisibly")
+			continue
+		}
+		if key := constant.StringVal(ktv.Value); !labelKeyRe.MatchString(key) {
+			pass.Reportf(kv.Key.Pos(), "label key %q does not match ^[a-z_][a-z0-9_]*$", key)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// TensorAlias flags the PR 2 bug class: passing one tensor as both an
+// input and an output argument of a call. The ensemble in-place
+// averaging bug corrupted a replica's cached activations exactly this
+// way — the kernel read elements its own earlier iterations had already
+// overwritten. A GEMM with c aliasing a or b is the canonical instance:
+// tensor.Gemm writes c while still reading a and b.
+//
+// A call is reported when the destination tensor — by the tensor
+// package's convention the first pointer-to-Matrix/Dense argument, or
+// the method receiver — is passed again as a later argument (the same
+// variable or the same field chain), unless the callee is alias-safe:
+//
+//   - elementwise kernels whose doc comment says so ("may alias" /
+//     "in place"), or marked with a `// lint:inplace` comment — checked
+//     when the callee is declared in the analyzed package;
+//   - the tensor package's documented elementwise set (Add, Sub,
+//     Hadamard, Apply, AddScaled, Scale, CopyFrom), whose dst-may-alias
+//     contract is part of their API docs.
+//
+// Distinct variables that alias the same backing array are out of
+// scope — that needs escape analysis; the analyzer catches the form the
+// bug actually shipped with.
+var TensorAlias = &Analyzer{
+	Name: "tensoralias",
+	Doc:  "one tensor passed as both input and output of a non-in-place call",
+	Run:  runTensorAlias,
+}
+
+// aliasSafeNames are cross-package callees documented alias-safe: the
+// tensor package's elementwise kernels iterate index-by-index with no
+// cross-element reads.
+var aliasSafeNames = map[string]bool{
+	"Add":       true,
+	"Sub":       true,
+	"Hadamard":  true,
+	"Apply":     true,
+	"AddScaled": true,
+	"Scale":     true,
+	"CopyFrom":  true,
+}
+
+func runTensorAlias(pass *Pass) error {
+	info := pass.TypesInfo
+	safeLocal := localAliasSafeFuncs(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			if aliasSafeNames[fn.Name()] || safeLocal[fn] {
+				return true
+			}
+			// Collect tensor-typed argument expressions, including a
+			// method receiver (m.CopyInto(m) aliases too).
+			args := make([]ast.Expr, 0, len(call.Args)+1)
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				args = append(args, sel.X)
+			}
+			args = append(args, call.Args...)
+			var keys []string
+			var exprs []ast.Expr
+			for _, arg := range args {
+				if !isTensorPtr(info.TypeOf(arg)) {
+					continue
+				}
+				if key, ok := exprKey(info, arg); ok {
+					keys = append(keys, key)
+					exprs = append(exprs, arg)
+				}
+			}
+			// By the tensor package's convention the first tensor
+			// argument (or the receiver) is the destination; only a
+			// later argument aliasing IT is the read-after-overwrite
+			// bug. Two identical later arguments are plain shared
+			// inputs — MatMul(c, a, a) squares a matrix legitimately.
+			for j := 1; j < len(keys); j++ {
+				if keys[j] == keys[0] {
+					pass.Reportf(exprs[j].Pos(), "%s is passed to %s as both destination and input; the callee is not marked in-place (lint:inplace) and may read elements it already overwrote",
+						exprString(exprs[j]), fn.Name())
+					return true // one report per call
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTensorPtr reports whether t is a pointer to a struct named Matrix
+// or Dense — the repo's tensor type and the name the paper-adjacent
+// ecosystems (gonum, gorgonia) use for the same shape.
+func isTensorPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	name := n.Obj().Name()
+	return name == "Matrix" || name == "Dense"
+}
+
+// exprKey canonicalizes an argument expression for identity comparison:
+// an identifier resolves to its object, a field chain to the root
+// object plus the field path. Calls, indexing, and anything else with
+// evaluation effects return !ok.
+func exprKey(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return "", false
+		}
+		return objKey(obj), true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// objKey names a types.Object uniquely within the package.
+func objKey(obj types.Object) string {
+	return obj.Name() + "@" + strconv.Itoa(int(obj.Pos()))
+}
+
+// exprString renders the argument as it appears in source, for
+// diagnostics (x, m.w).
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "tensor"
+}
+
+// localAliasSafeFuncs collects functions declared in this package whose
+// doc comment opts them out: a lint:inplace marker or prose declaring
+// the aliasing contract ("may alias", "in place", "in-place").
+func localAliasSafeFuncs(pass *Pass) map[*types.Func]bool {
+	safe := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			text := fd.Doc.Text()
+			if !strings.Contains(text, "lint:inplace") &&
+				!strings.Contains(text, "may alias") &&
+				!strings.Contains(text, "in place") &&
+				!strings.Contains(text, "in-place") {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				safe[fn] = true
+			}
+		}
+	}
+	return safe
+}

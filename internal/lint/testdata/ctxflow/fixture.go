@@ -1,0 +1,60 @@
+// Package fixture seeds ctxflow violations and their corrected forms:
+// functions that receive a context must neither mint fresh root
+// contexts nor drop their ctx when calling context-taking APIs.
+package fixture
+
+import "context"
+
+// Server stands in for serve.Server.
+type Server struct{}
+
+// PredictContext mirrors serve.Server.PredictContext.
+func (s *Server) PredictContext(ctx context.Context, x []float32) []float32 { return x }
+
+// Call mirrors serve.Server.Call.
+func Call(ctx context.Context, x []float32) []float32 { return x }
+
+// --- violations --------------------------------------------------------
+
+func dropsCtx(ctx context.Context, s *Server) {
+	s.PredictContext(context.Background(), nil) // want "drops the caller's ctx"
+}
+
+func dropsCtxFree(ctx context.Context) {
+	Call(context.TODO(), nil) // want "drops the caller's ctx"
+}
+
+func mintsCtx(ctx context.Context) context.Context {
+	detached := context.Background() // want "severs the cancellation chain"
+	return detached
+}
+
+func litWithCtx(s *Server) func(context.Context) {
+	return func(ctx context.Context) {
+		s.PredictContext(context.Background(), nil) // want "drops the caller's ctx"
+	}
+}
+
+// --- corrected forms (no diagnostics) ----------------------------------
+
+func passesCtx(ctx context.Context, s *Server) {
+	s.PredictContext(ctx, nil)
+}
+
+func derivesCtx(ctx context.Context, s *Server) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.PredictContext(ctx, nil)
+}
+
+// rootEntryPoint has no ctx parameter: minting the root context is its
+// job (main, tests, Predict-style convenience wrappers).
+func rootEntryPoint(s *Server) {
+	s.PredictContext(context.Background(), nil)
+}
+
+// suppressed documents a deliberate detach (fire-and-forget audit).
+func suppressed(ctx context.Context, s *Server) {
+	// lint:ignore ctxflow audit write must outlive the request
+	s.PredictContext(context.Background(), nil)
+}

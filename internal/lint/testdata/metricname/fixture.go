@@ -1,0 +1,66 @@
+// Package fixture seeds metricname violations and their corrected
+// forms. The stub Registry mirrors metrics.Registry's registration
+// surface; the analyzer matches it the same way (method name + receiver
+// named Registry + leading string parameter).
+package fixture
+
+// Labels mirrors metrics.Labels.
+type Labels map[string]string
+
+// Counter, Gauge, and Histogram mirror the metric handle types.
+type (
+	Counter   struct{}
+	Gauge     struct{}
+	Histogram struct{}
+)
+
+// Registry mirrors metrics.Registry.
+type Registry struct{}
+
+// Counter mirrors metrics.Registry.Counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter { return &Counter{} }
+
+// Gauge mirrors metrics.Registry.Gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge { return &Gauge{} }
+
+// Histogram mirrors metrics.Registry.Histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	return &Histogram{}
+}
+
+// --- corrected forms first: these register the canonical families ------
+
+const batchesName = "jag_batches_total"
+
+func good(r *Registry) {
+	r.Counter("jag_requests_total", "completed rows", Labels{"model": "jag", "lane": "bulk"})
+	r.Counter(batchesName, "forward passes", nil) // named constants resolve at compile time
+	r.Gauge("jag_queue_depth", "in-flight rows", nil)
+	r.Histogram("jag_request_latency_seconds", "end to end", []float64{0.1, 1}, nil)
+	// Re-registering the same (name, kind) is the look-up-per-update
+	// pattern and stays silent.
+	r.Counter("jag_requests_total", "completed rows", nil)
+}
+
+// --- violations --------------------------------------------------------
+
+func badNames(r *Registry) {
+	r.Counter("requests_total", "no prefix", nil) // want "does not match"
+	r.Gauge("jag_QueueDepth", "upper case", nil)  // want "does not match"
+	r.Counter("jag_", "empty stem", nil)          // want "does not match"
+}
+
+func computedName(r *Registry, which string) {
+	r.Counter("jag_"+which, "computed", nil) // want "compile-time string constant"
+}
+
+func kindConflict(r *Registry) {
+	r.Gauge("jag_requests_total", "now a gauge", nil) // want "registered as a gauge here but as a counter"
+}
+
+func badLabels(r *Registry, key string) {
+	r.Counter("jag_cache_hits_total", "h", Labels{key: "v"}) // want "label key must be a literal string"
+	r.Counter("jag_cache_misses_total", "h", Labels{
+		"Model-Name": "jag", // want "does not match"
+	})
+}

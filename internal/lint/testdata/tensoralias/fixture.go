@@ -1,0 +1,72 @@
+// Package fixture seeds tensoralias violations and their corrected
+// forms: the destination tensor passed again as an input (the PR 2
+// ensemble in-place-averaging bug class).
+package fixture
+
+// Dense stands in for tensor.Matrix (gonum and gorgonia spell the same
+// shape Dense, which the analyzer also recognizes).
+type Dense struct{ data []float32 }
+
+// MatMul mirrors tensor.MatMul: c must not alias a or b.
+func MatMul(c, a, b *Dense) {}
+
+// Gemm mirrors tensor.Gemm's shape with non-tensor arguments mixed in.
+func Gemm(c *Dense, alpha float32, a, b *Dense) {}
+
+// Add mirrors tensor.Add; it is on the analyzer's documented
+// elementwise allowlist.
+func Add(dst, a, b *Dense) {}
+
+// Accumulate adds src into dst elementwise. lint:inplace — each index
+// is written exactly once after its reads.
+func Accumulate(dst, src *Dense) {}
+
+// Normalize scales m by its own norm; the doc opts it in: it may alias
+// because the reduction happens before any write.
+func Normalize(dst, src *Dense) {}
+
+type model struct {
+	w   *Dense
+	act *Dense
+}
+
+// --- violations --------------------------------------------------------
+
+func selfOutput(x, y *Dense) {
+	MatMul(x, x, y) // want "x is passed to MatMul as both destination and input"
+}
+
+func selfOutputGemm(x, y *Dense) {
+	Gemm(x, 1.0, y, x) // want "x is passed to Gemm as both destination and input"
+}
+
+func fieldAlias(m *model, y *Dense) {
+	MatMul(m.act, m.act, y) // want "m.act is passed to MatMul as both destination and input"
+}
+
+// --- corrected forms (no diagnostics) ----------------------------------
+
+func distinctArgs(x, y, z *Dense) {
+	MatMul(x, y, z)
+}
+
+func sharedInputOK(x, y *Dense) {
+	MatMul(x, y, y) // squaring: the duplicated tensor is input-only
+}
+
+func distinctFieldsOK(m *model, y *Dense) {
+	MatMul(m.act, m.w, y)
+}
+
+func allowlistedOK(x, y *Dense) {
+	Add(x, x, y) // documented elementwise: dst may alias
+}
+
+func markedInPlaceOK(x *Dense) {
+	Accumulate(x, x)
+	Normalize(x, x)
+}
+
+func suppressedOK(x, y *Dense) {
+	MatMul(x, x, y) // lint:ignore tensoralias kernel proven safe for this blocking
+}

@@ -476,6 +476,8 @@ func serveCall(w http.ResponseWriter, r *http.Request, s *Server, method string,
 			return
 		}
 		w.Header().Set("Content-Type", ContentTypeTensor)
+		// The status line is already out; a short write means the
+		// client disconnected and there is nothing left to report.
 		_, _ = w.Write(buf)
 		recordEncode(encStart)
 		return

@@ -62,6 +62,8 @@ func MetricsHandler(reg *Registry) http.Handler {
 			collectModel(m, reg, name, s)
 		}
 		w.Header().Set("Content-Type", promContentType)
+		// A write error here means the scraper hung up mid-response;
+		// the exposition text is regenerated on the next scrape.
 		_ = m.WritePrometheus(w)
 	})
 }

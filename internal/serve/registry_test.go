@@ -165,3 +165,56 @@ func TestReplaceDrainDeadline(t *testing.T) {
 		t.Fatalf("generation = %d, want 3", gen)
 	}
 }
+
+// TestReplaceLeakedAcquireForcesClose leaks an Acquire pin outright —
+// the release func is discarded, the exact bug jaglint's acquirerelease
+// analyzer exists to catch in production code (test files are outside
+// its scope, which is what lets this test stage the failure mode).
+// The pin can never be released, so Replace must block for the full
+// drain deadline, then force-close the displaced server and count it.
+func TestReplaceLeakedAcquireForcesClose(t *testing.T) {
+	const deadline = 80 * time.Millisecond
+	reg := NewRegistry()
+	reg.SetDrainDeadline(deadline)
+	old, next := newNamedServer(t, 1), newNamedServer(t, 2)
+	if err := reg.Register("jag", old); err != nil {
+		t.Fatal(err)
+	}
+
+	leaked, _, ok := reg.Acquire("jag") // release deliberately leaked
+	if !ok || leaked != old {
+		t.Fatal("Acquire failed")
+	}
+
+	// Replace must not return before the deadline: the leaked pin keeps
+	// the drain WaitGroup open, and only the timer can end the wait.
+	start := time.Now()
+	if err := reg.Replace("jag", next); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < deadline {
+		t.Fatalf("Replace returned in %v, before the %v drain deadline — the leaked pin should have blocked it", elapsed, deadline)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("Replace took %v, far past the %v deadline", elapsed, deadline)
+	}
+
+	if !old.Closed() {
+		t.Fatal("leaked pin survived the deadline: old server still open")
+	}
+	if n := reg.ForcedCloses("jag"); n != 1 {
+		t.Fatalf("ForcedCloses = %d, want 1 after a leaked pin", n)
+	}
+	// The leaked holder's server is dead; calls fail fast.
+	if _, err := leaked.Predict(make([]float32, jag.InputDim)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("leaked holder Predict error = %v, want ErrClosed", err)
+	}
+	// The replacement is live and unaffected by the forced close.
+	if s, ok := reg.Get("jag"); !ok || s != next {
+		t.Fatal("replacement server not installed")
+	}
+	if _, err := next.Predict(make([]float32, jag.InputDim)); err != nil {
+		t.Fatalf("replacement Predict failed: %v", err)
+	}
+}

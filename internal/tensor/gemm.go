@@ -143,7 +143,7 @@ func gemmTT(c *Matrix, alpha float32, a, b *Matrix) {
 // axpy computes y += s*x with 4-way unrolling.
 func axpy(s float32, x, y []float32) {
 	n := len(x)
-	_ = y[n-1]
+	_ = y[n-1] // hoist the bounds check out of the unrolled loop
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		y[i] += s * x[i]
