@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/perfmodel"
+	"repro/internal/proxy"
 	"repro/internal/reader"
 	"repro/internal/serve"
 	"repro/internal/tensor"
@@ -372,5 +375,57 @@ func BenchmarkSensitivitySweep(b *testing.B) {
 		if len(pts) == 0 {
 			b.Fatal("empty sweep")
 		}
+	}
+}
+
+// BenchmarkProxyOverhead measures the fleet router's per-request hop:
+// the same single-row request against a jagserve backend directly and
+// through jagproxy. perfmodel.FleetScenario.HopSec is the proxied
+// minus direct per-op time from this benchmark.
+func BenchmarkProxyOverhead(b *testing.B) {
+	g := jag.Config{ImageSize: 4, Views: 3, Channels: 2}
+	cfg := cyclegan.DefaultConfig(g)
+	cfg.EncoderHidden = []int{16}
+	cfg.ForwardHidden = []int{8}
+	cfg.InverseHidden = []int{8}
+	cfg.DiscHidden = []int{8}
+	pool, err := serve.NewPool([]*cyclegan.Surrogate{cyclegan.New(cfg, 9)}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	if err := reg.Register("jag", serve.NewServer(pool, serve.Config{MaxBatch: 8})); err != nil {
+		b.Fatal(err)
+	}
+	defer reg.Close()
+	backend := httptest.NewServer(serve.NewRegistryHandler(reg, serve.HandlerConfig{}))
+	defer backend.Close()
+
+	p, err := proxy.New([]string{backend.URL}, proxy.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p.Start(ctx)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	for _, tier := range []struct{ name, url string }{
+		{"direct", backend.URL},
+		{"proxied", front.URL},
+	} {
+		b.Run(tier.name, func(b *testing.B) {
+			cl := serve.NewClient(tier.url)
+			x := make([]float32, jag.InputDim)
+			for i := 0; i < b.N; i++ {
+				for d := range x {
+					x[d] = float32((i*7+d*13)%997) / 997
+				}
+				if _, rowErrs, err := cl.Call(context.Background(), "jag", serve.MethodPredict, [][]float32{x}); err != nil || rowErrs != nil {
+					b.Fatalf("call failed: err=%v rowErrs=%v", err, rowErrs)
+				}
+			}
+		})
 	}
 }

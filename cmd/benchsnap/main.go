@@ -1,16 +1,16 @@
 // Command benchsnap converts `go test -bench` text output into a
 // machine-readable JSON snapshot, so the serving benchmarks
 // (BenchmarkServeBatched, BenchmarkServeUnbatched,
-// BenchmarkWireBinaryVsJSON) leave an artifact that scripts and CI can
-// diff instead of a transient log line. The checked-in BENCH_6.json at
-// the repo root is one such snapshot; CI regenerates it every run and
-// uploads the fresh copy, so a perf regression is visible as a JSON
-// diff against the committed baseline.
+// BenchmarkWireBinaryVsJSON, BenchmarkProxyOverhead) leave an artifact
+// that scripts and CI can diff instead of a transient log line. The
+// checked-in BENCH_8.json at the repo root is one such snapshot; CI
+// regenerates it every run and uploads the fresh copy, so a perf
+// regression is visible as a JSON diff against the committed baseline.
 //
 // Usage:
 //
-//	go test -bench 'ServeBatched|ServeUnbatched|WireBinaryVsJSON' -run '^$' . ./internal/serve/ \
-//	    | benchsnap -out BENCH_6.json
+//	go test -bench 'ServeBatched|ServeUnbatched|WireBinaryVsJSON|ProxyOverhead' -run '^$' . ./internal/serve/ \
+//	    | benchsnap -out BENCH_8.json
 //
 // Input is the standard benchmark line format:
 //

@@ -80,6 +80,7 @@ import (
 	"fmt"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -136,6 +137,7 @@ func main() {
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max wait before flushing a partial batch")
 	queueDepth := flag.Int("queue-depth", 0, "max in-flight requests per model before 503 (0 = 4*max-batch)")
 	cacheSize := flag.Int("cache-size", 1024, "per-model LRU response-cache entries (0 disables)")
+	probe := flag.Bool("probe", true, "cost-probe each model's predict path at startup and publish the sustainable rows/s as capacity_qps on its stats route (read by cmd/jagproxy for weighted routing)")
 	deadline := flag.Duration("deadline", 0, "default per-request deadline; rows still queued past it are dropped without a forward pass (0 disables; requests override via deadline_ms)")
 	watch := flag.Bool("watch", false, "watch each model's spec/checkpoint path and hot-swap newly written checkpoints in without dropping traffic (canary-tested; a bad checkpoint is rejected and the old model keeps serving)")
 	reloadInterval := flag.Duration("reload-interval", 2*time.Second, "poll period for -watch")
@@ -251,6 +253,26 @@ func main() {
 		}
 		log.Printf("model %s: %d replica(s) of %d checkpoint(s), ensemble=%v, methods %v",
 			e.name, pool.Replicas(), len(e.paths), pool.Ensemble(), srv.Methods())
+		if *probe {
+			// Publish this process's sustainable throughput so a fleet
+			// router (cmd/jagproxy) can weight traffic by real capacity
+			// instead of assuming identical replicas. Probe the predict
+			// path — it is what fleet routing balances — and fall back to
+			// the first method for models without one.
+			method := serve.MethodPredict
+			if _, ok := pool.Dims()[method]; !ok {
+				method = srv.Methods()[0]
+			}
+			res, err := serve.CostProbe(pool, method, *maxBatch)
+			if err != nil {
+				log.Printf("model %s: capacity probe failed (capacity_qps stays 0): %v", e.name, err)
+			} else {
+				qps := res.QPS(*maxBatch, pool.Replicas())
+				srv.SetCapacityQPS(qps)
+				log.Printf("model %s: probed capacity %.0f rows/s (%s: pass %.3gs + %.3gs/row at B=%d, %d worker(s))",
+					e.name, qps, method, res.PassSec, res.RowSec, *maxBatch, pool.Replicas())
+			}
+		}
 	}
 	if *defName != "" {
 		if err := reg.SetDefault(*defName); err != nil {
@@ -303,7 +325,14 @@ func main() {
 	}
 
 	handler := serve.NewRegistryHandler(reg, serve.HandlerConfig{DefaultDeadline: *deadline, AccessLog: accessLog})
-	hs := &http.Server{Addr: *addr, Handler: handler}
+	// Listen before logging so "-addr :0" (fleet tests and scripts that
+	// launch ephemeral backends) reports the port the kernel actually
+	// bound, not the literal flag value.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: handler}
 	drained := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -326,11 +355,11 @@ func main() {
 	}()
 
 	def, _, _ := reg.Default()
-	log.Printf("serving %d model(s) %v (default %s) on %s", reg.Len(), reg.Names(), def, *addr)
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("serving %d model(s) %v (default %s) on %s", reg.Len(), reg.Names(), def, ln.Addr())
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	// ListenAndServe returns the moment Shutdown is called; wait for the
-	// drain to finish before letting the process exit.
+	// Serve returns the moment Shutdown is called; wait for the drain
+	// to finish before letting the process exit.
 	<-drained
 }

@@ -64,6 +64,16 @@
 // count (cmd/figures -fig S1, examples/capacity), and validated
 // against a measured in-process benchmark in capacity_test.go.
 //
+// Past one process, cmd/jagproxy scales the serving tier by
+// replication — the paper's strong-scaling argument applied to
+// inference. internal/proxy fronts N jagserve replicas with active
+// health probing and passive circuit breaking, weighted least-loaded
+// routing seeded by each backend's probed capacity, bounded retries
+// with interactive-lane hedging, and per-client rate limiting;
+// perfmodel.FleetScenario extends the capacity model to the fleet and
+// fleet_test.go validates it against a measured 3-backend fleet,
+// backend kill included (docs/FLEET.md, examples/fleet).
+//
 // The conventions this stack depends on are machine-checked:
 // cmd/jaglint runs internal/lint's five analyzers (released
 // Registry.Acquire pins, uncopied atomic-holding structs, canonical
@@ -73,7 +83,8 @@
 // invariant and the lint:ignore suppression syntax.
 //
 // Start with README.md for the layout and quickstart, docs/SERVING.md
-// for the serving operator guide, and EXPERIMENTS.md for
+// and docs/FLEET.md for the serving and fleet operator guides, and
+// EXPERIMENTS.md for
 // paper-vs-measured results. The benchmarks in bench_test.go
 // regenerate every figure of the paper's evaluation section;
 // cmd/figures prints them as tables.

@@ -67,6 +67,15 @@ func TestDocNamedEntryPointsExist(t *testing.T) {
 		"internal/metrics/histogram.go": {"func LatencyBuckets"},
 		"cmd/benchsnap/main.go":         {"jag-bench/v1"},
 		"cmd/jagserve/main.go":          {`"debug-addr"`, `"log-format"`},
+		// docs/FLEET.md's contract surface: the proxy library, its CLI
+		// flags, the typed retry classification, the fleet capacity
+		// model, and the tier-1 fleet validation.
+		"internal/proxy/proxy.go":     {"func New", "jag_proxy_health_transitions_total"},
+		"cmd/jagproxy/main.go":        {`"backend"`, `"hedge-after"`, `"rate"`},
+		"internal/serve/client.go":    {"type StatusError", "func RetryableStatus"},
+		"internal/perfmodel/fleet.go": {"type FleetScenario"},
+		"fleet_test.go":               {"TestFleetCapacityModelVsMeasured", "TestFleetSurvivesBackendKill"},
+		"bench_test.go":               {"func BenchmarkProxyOverhead"},
 		// docs/STATIC_ANALYSIS.md's contract surface: the analyzer
 		// suite, its CLI, the tier-1 twin of the CI gate, and the test
 		// that stages the leak acquirerelease exists to catch.
@@ -74,7 +83,7 @@ func TestDocNamedEntryPointsExist(t *testing.T) {
 		"internal/lint/lint.go":           {"func All", "lint:ignore"},
 		"internal/lint/lint_test.go":      {"func TestSuiteCleanOnRepo"},
 		"internal/serve/registry_test.go": {"func TestReplaceLeakedAcquireForcesClose"},
-		".github/workflows/ci.yml":        {"static-analysis:", "race-stress:", "gofmt -s -l"},
+		".github/workflows/ci.yml":        {"static-analysis:", "race-stress:", "gofmt -s -l", "examples/fleet", "ProxyOverhead"},
 	} {
 		body, err := os.ReadFile(file)
 		if err != nil {

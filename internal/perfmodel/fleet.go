@@ -1,0 +1,114 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fleet-level serving capacity: c replicas *behind a router* instead of
+// the single-process pool ServingScenario models. The composition is
+// deliberately simple — the fleet's interesting physics live in the
+// per-backend scenario, and the router adds exactly two effects:
+//
+//   - a per-request hop: the proxy terminates the client connection,
+//     buffers the body, picks a backend, and relays a buffered reply,
+//     so every request pays one routing + HTTP hop of HopSec on top of
+//     whatever the backend itself takes;
+//   - imperfect load spreading: least-loaded and power-of-two-choices
+//     routing approach, but never reach, the single-queue ideal — plus
+//     retries and hedges re-spend backend capacity. Efficiency folds
+//     all of that into one derating factor on aggregate throughput.
+//
+// With Efficiency=1 and HopSec=0 the fleet is exactly Backends
+// independent copies of the per-backend scenario fed OfferedQPS/c each
+// — the M/D/c idealization's "what if the router were perfect" upper
+// bound. The tier-1 fleet test (fleet_test.go) validates the model
+// against a measured 3-backend fleet behind the real proxy.
+
+// FleetScenario is a fleet of identical jagserve backends behind one
+// jagproxy router.
+type FleetScenario struct {
+	// Backend is one replica's serving scenario. Its OfferedQPS field is
+	// ignored: the fleet's OfferedQPS below is split across backends.
+	Backend ServingScenario
+	// Backends is the number of replicas behind the router.
+	Backends int
+	// HopSec is the per-request router overhead added to every latency:
+	// the routing decision plus the extra HTTP hop (connect or pooled
+	// reuse, serialize, transfer, parse). Measure it with
+	// BenchmarkProxyOverhead (proxied minus direct single-row latency).
+	HopSec float64
+	// Efficiency in (0, 1] derates aggregate capacity for routing
+	// imbalance, retries, and hedge double-spend; 0 means 1 (ideal).
+	Efficiency float64
+	// OfferedQPS is the total load offered to the router, rows/s.
+	OfferedQPS float64
+}
+
+func (f FleetScenario) eff() float64 {
+	if f.Efficiency == 0 {
+		return 1
+	}
+	return f.Efficiency
+}
+
+// Validate reports whether the fleet scenario is well-formed.
+func (f FleetScenario) Validate() error {
+	if f.Backends < 1 {
+		return fmt.Errorf("perfmodel: fleet needs at least one backend, got %d", f.Backends)
+	}
+	if f.HopSec < 0 || math.IsNaN(f.HopSec) {
+		return fmt.Errorf("perfmodel: invalid hop cost %g", f.HopSec)
+	}
+	if f.Efficiency < 0 || f.Efficiency > 1 {
+		return fmt.Errorf("perfmodel: routing efficiency must be in (0, 1], got %g", f.Efficiency)
+	}
+	if f.OfferedQPS < 0 {
+		return fmt.Errorf("perfmodel: invalid offered load %g", f.OfferedQPS)
+	}
+	per := f.Backend
+	per.OfferedQPS = 0
+	return per.Validate()
+}
+
+// MaxQPS returns the fleet's sustainable offered load: the per-backend
+// capacity times the backend count, derated by routing efficiency.
+func (f FleetScenario) MaxQPS() float64 {
+	return f.eff() * float64(f.Backends) * f.Backend.MaxQPS()
+}
+
+// FleetReport is the costed result of one fleet scenario.
+type FleetReport struct {
+	// Backend is the per-backend report at this fleet's split load
+	// (OfferedQPS / (Efficiency · Backends) per backend — the
+	// efficiency derating shows up as extra per-backend load).
+	Backend ServingReport
+	// Saturated is true when the fleet cannot sustain OfferedQPS.
+	Saturated bool
+	// MaxQPS is the fleet's sustainable offered load.
+	MaxQPS float64
+	// P50/P99 are interactive-lane end-to-end latencies (hop included),
+	// seconds; BulkP50/BulkP99 the bulk lane's.
+	P50, P99         float64
+	BulkP50, BulkP99 float64
+}
+
+// Report costs the fleet. It panics on an invalid scenario, matching
+// ServingScenario.Report.
+func (f FleetScenario) Report() FleetReport {
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	per := f.Backend
+	per.OfferedQPS = f.OfferedQPS / (f.eff() * float64(f.Backends))
+	r := per.Report()
+	return FleetReport{
+		Backend:   r,
+		Saturated: r.Saturated,
+		MaxQPS:    f.MaxQPS(),
+		P50:       r.P50 + f.HopSec,
+		P99:       r.P99 + f.HopSec,
+		BulkP50:   r.BulkP50 + f.HopSec,
+		BulkP99:   r.BulkP99 + f.HopSec,
+	}
+}

@@ -1,0 +1,98 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func fleetBase() ServingScenario {
+	return ServingScenario{
+		Cost:     ServingCost{PassSec: 2e-3, RowSec: 50e-6},
+		Replicas: 1,
+		MaxBatch: 16,
+		// Wide enough that batches fill to MaxBatch below saturation, so
+		// utilization checks against MaxQPS (a full-batch asymptote) are
+		// exact.
+		Window: 5 * time.Millisecond,
+	}
+}
+
+func TestFleetMaxQPSScalesLinearly(t *testing.T) {
+	per := fleetBase().MaxQPS()
+	for _, n := range []int{1, 2, 3, 8} {
+		f := FleetScenario{Backend: fleetBase(), Backends: n}
+		if got, want := f.MaxQPS(), float64(n)*per; math.Abs(got-want) > 1e-9*want {
+			t.Errorf("Backends=%d: MaxQPS = %g, want %g (linear scaling)", n, got, want)
+		}
+	}
+	// Efficiency derates aggregate capacity proportionally.
+	f := FleetScenario{Backend: fleetBase(), Backends: 4, Efficiency: 0.8}
+	if got, want := f.MaxQPS(), 0.8*4*per; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("derated MaxQPS = %g, want %g", got, want)
+	}
+}
+
+func TestFleetHopAddsToEveryLatency(t *testing.T) {
+	base := FleetScenario{Backend: fleetBase(), Backends: 3}
+	base.OfferedQPS = 0.5 * base.MaxQPS()
+	hop := base
+	hop.HopSec = 1.5e-3
+	r0, r1 := base.Report(), hop.Report()
+	for _, pair := range [][2]float64{
+		{r0.P50, r1.P50}, {r0.P99, r1.P99}, {r0.BulkP50, r1.BulkP50}, {r0.BulkP99, r1.BulkP99},
+	} {
+		if got := pair[1] - pair[0]; math.Abs(got-1.5e-3) > 1e-9 {
+			t.Errorf("hop added %g s, want 1.5e-3", got)
+		}
+	}
+}
+
+func TestFleetSplitsLoadAcrossBackends(t *testing.T) {
+	// A 3-backend fleet at 90% of aggregate capacity must report each
+	// backend at 90% utilization — and the same scenario with one
+	// backend saturates.
+	f := FleetScenario{Backend: fleetBase(), Backends: 3}
+	f.OfferedQPS = 0.9 * f.MaxQPS()
+	r := f.Report()
+	if r.Saturated {
+		t.Fatal("fleet saturated below its MaxQPS")
+	}
+	if math.Abs(r.Backend.Utilization-0.9) > 1e-9 {
+		t.Errorf("per-backend utilization %g, want 0.9", r.Backend.Utilization)
+	}
+	one := FleetScenario{Backend: fleetBase(), Backends: 1, OfferedQPS: f.OfferedQPS}
+	if !one.Report().Saturated {
+		t.Error("one backend absorbed a 3-backend load without saturating")
+	}
+	// Imperfect routing shows up as extra per-backend load.
+	derated := f
+	derated.Efficiency = 0.5
+	if got := derated.Report().Backend.Utilization; math.Abs(got-1.8) > 1e-9 || !derated.Report().Saturated {
+		t.Errorf("efficiency 0.5 backend utilization %g, want 1.8 (saturated)", got)
+	}
+}
+
+func TestFleetValidate(t *testing.T) {
+	for name, f := range map[string]FleetScenario{
+		"no backends":     {Backend: fleetBase(), Backends: 0},
+		"negative hop":    {Backend: fleetBase(), Backends: 2, HopSec: -1},
+		"efficiency > 1":  {Backend: fleetBase(), Backends: 2, Efficiency: 1.5},
+		"negative load":   {Backend: fleetBase(), Backends: 2, OfferedQPS: -1},
+		"invalid backend": {Backend: ServingScenario{}, Backends: 2},
+	} {
+		if f.Validate() == nil {
+			t.Errorf("%s: Validate accepted %+v", name, f)
+		}
+	}
+	ok := FleetScenario{Backend: fleetBase(), Backends: 3, HopSec: 1e-3, Efficiency: 0.9, OfferedQPS: 100}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+	// The backend's own OfferedQPS must be irrelevant (documented as
+	// ignored): an absurd value there must not break fleet validation.
+	ok.Backend.OfferedQPS = -5
+	if err := ok.Validate(); err != nil {
+		t.Errorf("backend OfferedQPS leaked into fleet validation: %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+)
+
+// Request/response plumbing shared by the proxy routes: building the
+// forwarded request, buffering bodies, error rendering, client keying,
+// and the request-ID helpers (the proxy mints IDs exactly the way the
+// backend middleware does, so a trace reads the same on both hops).
+
+// newBackendRequest clones the inbound request toward one backend: same
+// method, path, and query; whitelisted headers; the pre-buffered body.
+func newBackendRequest(ctx context.Context, b *Backend, r *http.Request, body []byte) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, b.base+r.URL.RequestURI(), rd)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range forwardHeaders {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	return req, nil
+}
+
+// readBody buffers the inbound call body, rejecting oversized ones with
+// 413. The buffered copy is what makes the request replayable across
+// retries and hedges.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+		return nil, false
+	}
+	if int64(len(body)) > limit {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return nil, false
+	}
+	return body, true
+}
+
+// readAllBody drains and closes one backend reply.
+func readAllBody(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// writeError renders the same JSON {"error": ...} envelope the backends
+// use, so clients see one error shape fleet-wide.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// errKind classifies a transport error for the errors_total metric.
+func errKind(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return "timeout"
+	}
+	return "conn"
+}
+
+// clientKey identifies the caller for rate limiting: the remote IP,
+// ignoring the ephemeral port so one client is one bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// newID mints a 16-hex-digit correlation ID, the same format the
+// backend middleware uses.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sanitizeID accepts a caller-supplied correlation ID only when it is
+// short printable ASCII, mirroring the backend's rule.
+func sanitizeID(id string) string {
+	if len(id) == 0 || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return ""
+		}
+	}
+	return id
+}
+
+// statusWriter records the status code passing through, for the access
+// log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// BaseURL returns the backend's normalized base URL.
+func (b *Backend) BaseURL() string { return b.base }

@@ -1,0 +1,657 @@
+// Package proxy is the fleet front door: an HTTP load balancer over N
+// jagserve replicas, turning the single-process serving stack into the
+// strong-scaled serving tier the paper's training side argues for —
+// once one replica runs as fast as the hardware allows, throughput only
+// grows by routing across many.
+//
+// The proxy keeps one Backend per replica and combines:
+//
+//   - active health probing: every Config.HealthInterval each backend's
+//     /healthz is probed; Config.FailAfter consecutive probe failures
+//     drop it from routing and Config.RecoverAfter consecutive
+//     successes reinstate it;
+//   - passive circuit breaking: transport errors, timeouts, and 5xx on
+//     forwarded traffic trip a backend after Config.BreakerFails
+//     consecutive failures or a Config.ErrorRate fraction of its recent
+//     window — the prober then owns reinstatement;
+//   - weighted least-loaded routing: when every candidate reports a
+//     probed capacity (jagserve -probe publishes CostProbe-derived QPS
+//     on its stats route; the proxy refreshes it every
+//     Config.CapacityInterval), requests go to the backend with the
+//     lowest (inflight+1)/capacity; otherwise power-of-two-choices on
+//     in-flight counts;
+//   - bounded retries and hedging: a failed attempt (connect error,
+//     broken reply, retryable status — see serve.RetryableStatus) is
+//     retried on an untried backend up to Config.MaxRetries times;
+//     interactive-lane requests additionally hedge after
+//     Config.HedgeDelay, racing a second backend (bulk never hedges);
+//   - per-client token-bucket rate limiting with 429 + Retry-After;
+//   - observability: jag_proxy_* metric families on GET /metrics,
+//     X-Request-Id assignment/propagation so one correlation ID traces
+//     a request proxy→backend, and an optional structured access log.
+//
+// docs/FLEET.md is the operator guide; perfmodel.FleetScenario is the
+// matching capacity model.
+package proxy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// Config tunes the proxy; the zero value serves with the defaults noted
+// on each field.
+type Config struct {
+	// HealthInterval is the active /healthz probe period (default 1s).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one probe or capacity refresh (default 2s).
+	ProbeTimeout time.Duration
+	// FailAfter is the consecutive probe failures that drop a backend
+	// (default 2).
+	FailAfter int
+	// RecoverAfter is the consecutive probe successes that reinstate a
+	// dropped backend (default 2).
+	RecoverAfter int
+	// BreakerFails is the consecutive forward failures (transport error
+	// or 5xx) that trip the passive breaker (default 3).
+	BreakerFails int
+	// ErrorRate is the failure fraction of the recent-forwards window
+	// that trips the breaker even without a consecutive run
+	// (default 0.5); ErrorWindow is the window size (default 20).
+	ErrorRate   float64
+	ErrorWindow int
+	// CapacityInterval is the period between capacity refreshes from
+	// backend stats routes (default 15s). CapacityModel names the model
+	// whose capacity_qps seeds routing weights; "" uses each backend's
+	// first listed model.
+	CapacityInterval time.Duration
+	CapacityModel    string
+	// MaxRetries is the extra attempts (retries and hedges combined)
+	// after the first, each on a backend the request has not tried yet
+	// (default 2).
+	MaxRetries int
+	// HedgeDelay races a second backend when an interactive request has
+	// not answered within it; 0 disables hedging. Bulk-lane requests
+	// (X-Priority: bulk) never hedge. Note the proxy reads only the
+	// header: a priority set inside a JSON body selects the backend's
+	// bulk lane but does not suppress hedging.
+	HedgeDelay time.Duration
+	// AttemptTimeout bounds one backend attempt; 0 leaves only the
+	// client's own context/deadline.
+	AttemptTimeout time.Duration
+	// RatePerSec enables per-client token-bucket rate limiting on call
+	// routes at this refill rate; 0 disables. Burst is the bucket size
+	// (default max(1, ceil(RatePerSec))).
+	RatePerSec float64
+	Burst      int
+	// MaxBodyBytes caps a call request body (default 64 MiB).
+	MaxBodyBytes int64
+	// AccessLog, when non-nil, gets one structured record per request.
+	AccessLog *slog.Logger
+	// Logf, when non-nil, receives health-transition log lines
+	// (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 2
+	}
+	if c.BreakerFails <= 0 {
+		c.BreakerFails = 3
+	}
+	if c.ErrorRate <= 0 || c.ErrorRate > 1 {
+		c.ErrorRate = 0.5
+	}
+	if c.ErrorWindow <= 0 {
+		c.ErrorWindow = 20
+	}
+	if c.CapacityInterval <= 0 {
+		c.CapacityInterval = 15 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.Burst <= 0 {
+		c.Burst = int(c.RatePerSec)
+		if float64(c.Burst) < c.RatePerSec {
+			c.Burst++
+		}
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Proxy fronts a set of jagserve backends. It is an http.Handler;
+// Start launches the health/capacity maintenance loops.
+type Proxy struct {
+	cfg      Config
+	backends []*Backend
+	m        *metrics.Registry
+	limiter  *rateLimiter
+	hc       *http.Client // forwards: no global timeout, per-attempt ctx
+	probeHC  *http.Client // probes + capacity refresh: ProbeTimeout
+	mux      *http.ServeMux
+}
+
+// New builds a proxy over the given backend base URLs (such as
+// "http://127.0.0.1:8081"). All backends start healthy; call Start to
+// begin probing.
+func New(backendURLs []string, cfg Config) (*Proxy, error) {
+	cfg = cfg.withDefaults()
+	if len(backendURLs) == 0 {
+		return nil, fmt.Errorf("proxy: no backends")
+	}
+	p := &Proxy{
+		cfg: cfg,
+		m:   metrics.NewRegistry(),
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		probeHC: &http.Client{Timeout: cfg.ProbeTimeout},
+	}
+	seen := map[string]bool{}
+	for _, raw := range backendURLs {
+		b, err := newBackend(raw, cfg.ErrorWindow)
+		if err != nil {
+			return nil, err
+		}
+		if seen[b.base] {
+			return nil, fmt.Errorf("proxy: duplicate backend %s", b.base)
+		}
+		seen[b.base] = true
+		p.backends = append(p.backends, b)
+	}
+	if cfg.RatePerSec > 0 {
+		p.limiter = newRateLimiter(cfg.RatePerSec, cfg.Burst)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/models/{name}/{method}", p.serveCall)
+	mux.HandleFunc("POST /predict", p.serveCall) // deprecated alias, forwarded as-is
+	mux.HandleFunc("GET /v1/models", p.servePass)
+	mux.HandleFunc("GET /v1/models/{name}/stats", p.servePass)
+	mux.HandleFunc("GET /stats", p.servePass) // deprecated alias
+	mux.HandleFunc("GET /healthz", p.serveHealthz)
+	mux.HandleFunc("GET /metrics", p.serveMetrics)
+	p.mux = mux
+	return p, nil
+}
+
+// Start launches the maintenance loops — active health probing,
+// capacity refresh, rate-limiter cleanup — until ctx is cancelled. It
+// runs one synchronous probe + capacity sweep first, so a proxy whose
+// backends are already up routes with fresh state from its first
+// request.
+func (p *Proxy) Start(ctx context.Context) {
+	p.probeSweep(ctx)
+	p.capacitySweep(ctx)
+	go p.maintain(ctx)
+}
+
+// Backends exposes the backend set (for /healthz and tests).
+func (p *Proxy) Backends() []*Backend { return p.backends }
+
+// Metrics exposes the proxy's metric registry (for tests and embedding
+// scrapes).
+func (p *Proxy) Metrics() *metrics.Registry { return p.m }
+
+func (p *Proxy) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// ServeHTTP dispatches to the proxy's route set:
+//
+//	POST /v1/models/{name}/{method}  forwarded with retries (+ hedging)
+//	GET  /v1/models, .../stats       forwarded to one healthy backend
+//	GET  /healthz                    the proxy's own fleet health
+//	GET  /metrics                    jag_proxy_* Prometheus exposition
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := sanitizeID(r.Header.Get(serve.RequestIDHeader))
+	if id == "" {
+		id = newID()
+	}
+	w.Header().Set(serve.RequestIDHeader, id)
+	r.Header.Set(serve.RequestIDHeader, id) // forwarded verbatim to the backend
+	if p.cfg.AccessLog == nil {
+		p.mux.ServeHTTP(w, r)
+		return
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	p.mux.ServeHTTP(sw, r)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	p.cfg.AccessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.String("backend", sw.Header().Get(backendHeader)),
+		slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
+		slog.String("request_id", id))
+}
+
+// pick selects a backend for the next attempt, excluding tried ones.
+// Healthy candidates are preferred; when none remain (fleet-wide
+// outage, or every healthy backend already tried) it falls back to any
+// untried backend — health state can be stale, and a desperate attempt
+// beats a certain failure. Among candidates: weighted least-loaded by
+// (inflight+1)/capacity when every candidate has a probed capacity,
+// else power-of-two-choices on in-flight counts.
+func (p *Proxy) pick(tried map[*Backend]bool) *Backend {
+	cands := make([]*Backend, 0, len(p.backends))
+	for _, b := range p.backends {
+		if b.Healthy() && !tried[b] {
+			cands = append(cands, b)
+		}
+	}
+	if len(cands) == 0 {
+		for _, b := range p.backends {
+			if !tried[b] {
+				cands = append(cands, b)
+			}
+		}
+	}
+	switch len(cands) {
+	case 0:
+		return nil
+	case 1:
+		return cands[0]
+	}
+	weighted := true
+	for _, b := range cands {
+		if b.CapacityQPS() <= 0 {
+			weighted = false
+			break
+		}
+	}
+	if weighted {
+		best, bestScore := cands[0], 0.0
+		for i, b := range cands {
+			score := float64(b.inflight.Load()+1) / b.CapacityQPS()
+			if i == 0 || score < bestScore {
+				best, bestScore = b, score
+			}
+		}
+		return best
+	}
+	i := rand.IntN(len(cands))
+	j := rand.IntN(len(cands) - 1)
+	if j >= i {
+		j++
+	}
+	if cands[j].inflight.Load() < cands[i].inflight.Load() {
+		return cands[j]
+	}
+	return cands[i]
+}
+
+// serveCall forwards one batched model call with rate limiting,
+// retries, and (interactive-lane only) hedging.
+func (p *Proxy) serveCall(w http.ResponseWriter, r *http.Request) {
+	if p.limiter != nil {
+		if ok, retryAfter := p.limiter.allow(clientKey(r), time.Now()); !ok {
+			p.m.Counter("jag_proxy_rate_limited_total",
+				"Requests shed by per-client frontend rate limiting.", nil).Inc()
+			sec := int(retryAfter.Seconds() + 0.999)
+			if sec < 1 {
+				sec = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("rate limit exceeded; retry after %ds", sec))
+			return
+		}
+	}
+	body, ok := readBody(w, r, p.cfg.MaxBodyBytes)
+	if !ok {
+		return
+	}
+	class, err := serve.ParsePriority(r.Header.Get(serve.PriorityHeader))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hedge := class == serve.Interactive && p.cfg.HedgeDelay > 0
+	out := p.dispatch(r, body, hedge)
+	p.relay(w, r, out)
+}
+
+// servePass forwards one read-only route (model listing, stats) with
+// retries but no hedging or rate limiting.
+func (p *Proxy) servePass(w http.ResponseWriter, r *http.Request) {
+	out := p.dispatch(r, nil, false)
+	p.relay(w, r, out)
+}
+
+// outcome is one attempt's fully-buffered result. Buffering the whole
+// reply before relaying is what makes mid-body backend deaths
+// retryable: the client never sees bytes from an attempt that later
+// broke.
+type outcome struct {
+	b      *Backend
+	status int
+	header http.Header
+	body   []byte
+	err    error
+	hedged bool
+}
+
+// relayable reports whether this outcome ends the dispatch: a reply
+// arrived and it is not a "not now" status worth trying elsewhere.
+func (o outcome) relayable() bool {
+	return o.err == nil && !serve.RetryableStatus(o.status)
+}
+
+// dispatch runs the attempt state machine: route, forward, retry on
+// retryable failures against untried backends, and — when hedge is set
+// — race a second backend after HedgeDelay. At most 1+MaxRetries
+// attempts are launched (hedges included); the first relayable outcome
+// wins and pending attempts are cancelled.
+func (p *Proxy) dispatch(r *http.Request, body []byte, hedge bool) outcome {
+	ctx := r.Context()
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	maxAttempts := 1 + p.cfg.MaxRetries
+	results := make(chan outcome, maxAttempts)
+	tried := make(map[*Backend]bool, len(p.backends))
+	launched := 0
+	launch := func(hedged bool) bool {
+		if launched >= maxAttempts {
+			return false
+		}
+		b := p.pick(tried)
+		if b == nil {
+			return false
+		}
+		tried[b] = true
+		launched++
+		go func() { results <- p.attempt(actx, b, r, body, hedged) }()
+		return true
+	}
+
+	if !launch(false) {
+		return outcome{err: errNoBackend}
+	}
+	var hedgeC <-chan time.Time
+	if hedge {
+		t := time.NewTimer(p.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	pending := 1
+	var last outcome
+	for {
+		select {
+		case out := <-results:
+			pending--
+			if out.relayable() {
+				if out.hedged {
+					p.m.Counter("jag_proxy_hedge_wins_total",
+						"Hedged attempts that answered first.", nil).Inc()
+				}
+				return out
+			}
+			last = out
+			if ctx.Err() == nil && launch(false) {
+				p.m.Counter("jag_proxy_retries_total",
+					"Attempts relaunched on another backend after a retryable failure.", nil).Inc()
+				pending++
+				continue
+			}
+			if pending > 0 {
+				continue // a raced attempt may still come back relayable
+			}
+			return last
+		case <-hedgeC:
+			hedgeC = nil
+			if launch(true) {
+				p.m.Counter("jag_proxy_hedges_total",
+					"Second attempts raced for slow interactive requests.", nil).Inc()
+				pending++
+			}
+		case <-ctx.Done():
+			return outcome{err: ctx.Err()}
+		}
+	}
+}
+
+// errNoBackend is dispatch's "nothing to route to" sentinel.
+var errNoBackend = fmt.Errorf("proxy: no backend available")
+
+// forwardHeaders is the request-header whitelist forwarded to backends.
+var forwardHeaders = []string{
+	"Content-Type", "Accept",
+	serve.PriorityHeader, serve.DeadlineHeader, serve.ScalarsOnlyHeader,
+	serve.RequestIDHeader,
+}
+
+// attempt forwards the request to one backend, buffers the whole reply,
+// and feeds the passive breaker with the observed outcome.
+func (p *Proxy) attempt(ctx context.Context, b *Backend, r *http.Request, body []byte, hedged bool) outcome {
+	if p.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	req, err := newBackendRequest(ctx, b, r, body)
+	if err != nil {
+		return outcome{b: b, err: err, hedged: hedged}
+	}
+	lbl := metrics.Labels{"backend": b.name}
+	b.inflight.Add(1)
+	start := time.Now()
+	resp, err := p.hc.Do(req)
+	var status int
+	var header http.Header
+	var raw []byte
+	if err == nil {
+		status, header = resp.StatusCode, resp.Header
+		raw, err = readAllBody(resp)
+	}
+	elapsed := time.Since(start).Seconds()
+	b.inflight.Add(-1)
+	p.m.Histogram("jag_proxy_request_latency_seconds",
+		"Backend attempt latency (connect to full reply), per backend.",
+		metrics.LatencyBuckets(), lbl).Observe(elapsed)
+
+	if err != nil {
+		// Transport failure: connect refused, timeout, or a reply that
+		// died mid-body. Don't hold it against the backend when our own
+		// client vanished — the cancellation is the caller's, not the
+		// backend's.
+		p.m.Counter("jag_proxy_requests_total",
+			"Forwarded attempts per backend and status class.",
+			metrics.Labels{"backend": b.name, "code": "error"}).Inc()
+		if r.Context().Err() == nil && ctx.Err() != context.Canceled {
+			p.noteForward(b, true, err.Error())
+			p.m.Counter("jag_proxy_errors_total",
+				"Backend attempt failures by kind.",
+				metrics.Labels{"backend": b.name, "kind": errKind(err)}).Inc()
+		}
+		return outcome{b: b, err: err, hedged: hedged}
+	}
+	p.m.Counter("jag_proxy_requests_total",
+		"Forwarded attempts per backend and status class.",
+		metrics.Labels{"backend": b.name, "code": fmt.Sprintf("%dxx", status/100)}).Inc()
+	if status >= 500 {
+		p.noteForward(b, true, fmt.Sprintf("HTTP %d", status))
+		p.m.Counter("jag_proxy_errors_total",
+			"Backend attempt failures by kind.",
+			metrics.Labels{"backend": b.name, "kind": "status_5xx"}).Inc()
+	} else {
+		p.noteForward(b, false, "")
+	}
+	return outcome{b: b, status: status, header: header, body: raw, hedged: hedged}
+}
+
+// noteForward feeds the passive breaker and performs the trip.
+func (p *Proxy) noteForward(b *Backend, failed bool, detail string) {
+	if b.noteForward(failed, detail, p.cfg.BreakerFails, p.cfg.ErrorRate) {
+		p.setHealth(b, false, "breaker: "+detail)
+	}
+}
+
+// setHealth flips one backend's health bit, counting and logging real
+// transitions exactly once (Swap makes concurrent trips idempotent).
+func (p *Proxy) setHealth(b *Backend, up bool, reason string) {
+	if b.healthy.Swap(up) == up {
+		return
+	}
+	to := "down"
+	if up {
+		to = "up"
+	}
+	p.m.Counter("jag_proxy_health_transitions_total",
+		"Backend health flips, labeled by direction.",
+		metrics.Labels{"backend": b.name, "to": to}).Inc()
+	p.logf("proxy: backend %s %s (%s)", b.name, to, reason)
+}
+
+// backendHeader names the replica that served the relayed reply, for
+// debugging and tests.
+const backendHeader = "X-Jag-Backend"
+
+// relayHeaders is the response-header whitelist copied back to the
+// client. X-Request-Id is not copied: the proxy already set its own
+// (which the backend echoed, since it was forwarded).
+var relayHeaders = []string{
+	"Content-Type", "Retry-After", "Server-Timing", "Deprecation", "Link",
+}
+
+// relay writes the winning outcome to the client.
+func (p *Proxy) relay(w http.ResponseWriter, r *http.Request, out outcome) {
+	switch {
+	case out.err == errNoBackend:
+		p.m.Counter("jag_proxy_no_backend_total",
+			"Requests failed because no backend was available.", nil).Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no backend available")
+		return
+	case out.err != nil:
+		if r.Context().Err() != nil {
+			return // client is gone; nobody reads this reply
+		}
+		if out.b != nil {
+			w.Header().Set(backendHeader, out.b.name)
+		}
+		writeError(w, http.StatusBadGateway,
+			fmt.Sprintf("backend attempt failed: %v", out.err))
+		return
+	}
+	for _, h := range relayHeaders {
+		if v := out.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(backendHeader, out.b.name)
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+}
+
+// FleetHealth is the GET /healthz reply: the proxy's view of the fleet.
+type FleetHealth struct {
+	// Status is "ok" with every backend healthy, "degraded" with some
+	// down, "down" (and HTTP 503) with none left.
+	Status   string                   `json:"status"`
+	Healthy  int                      `json:"healthy"`
+	Backends map[string]BackendHealth `json:"backends"`
+}
+
+// BackendHealth is one backend's entry in the fleet /healthz reply.
+type BackendHealth struct {
+	Healthy     bool    `json:"healthy"`
+	Inflight    int64   `json:"inflight"`
+	CapacityQPS float64 `json:"capacity_qps,omitempty"`
+	LastError   string  `json:"last_error,omitempty"`
+}
+
+// FleetHealth snapshots the proxy's view of the fleet — the same
+// document GET /healthz serves, for in-process embedders.
+func (p *Proxy) FleetHealth() FleetHealth {
+	resp := FleetHealth{Backends: make(map[string]BackendHealth, len(p.backends))}
+	for _, b := range p.backends {
+		h := BackendHealth{
+			Healthy:     b.Healthy(),
+			Inflight:    b.Inflight(),
+			CapacityQPS: b.CapacityQPS(),
+			LastError:   b.lastError(),
+		}
+		if h.Healthy {
+			resp.Healthy++
+		}
+		resp.Backends[b.name] = h
+	}
+	switch {
+	case resp.Healthy == len(p.backends):
+		resp.Status = "ok"
+	case resp.Healthy > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "down"
+	}
+	return resp
+}
+
+func (p *Proxy) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := p.FleetHealth()
+	status := http.StatusOK
+	if resp.Status == "down" {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// serveMetrics refreshes the scrape-time gauges and renders the
+// registry. Counters and histograms are written on the hot path; only
+// the point-in-time backend gauges are computed here.
+func (p *Proxy) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	for _, b := range p.backends {
+		lbl := metrics.Labels{"backend": b.name}
+		up := 0.0
+		if b.Healthy() {
+			up = 1
+		}
+		p.m.Gauge("jag_proxy_backend_healthy", "1 while the backend is routed to.", lbl).Set(up)
+		p.m.Gauge("jag_proxy_backend_inflight", "Proxied requests outstanding on the backend.", lbl).
+			Set(float64(b.Inflight()))
+		p.m.Gauge("jag_proxy_backend_capacity_qps",
+			"Backend's probed sustainable row rate (rows/s), 0 until reported.", lbl).
+			Set(b.CapacityQPS())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.m.WritePrometheus(w)
+}

@@ -1,0 +1,412 @@
+package proxy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// fakeBackend is an httptest stand-in for one jagserve replica with a
+// scriptable call handler and a healthz switch.
+type fakeBackend struct {
+	srv     *httptest.Server
+	healthy atomic.Bool
+	calls   atomic.Int64
+	handler atomic.Value // func(w http.ResponseWriter, r *http.Request)
+}
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	f := &fakeBackend{}
+	f.healthy.Store(true)
+	f.handler.Store(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"outputs":[[1]]}`)
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !f.healthy.Load() {
+			http.Error(w, "closed", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /v1/models/{name}/{method}", func(w http.ResponseWriter, r *http.Request) {
+		f.calls.Add(1)
+		f.handler.Load().(func(http.ResponseWriter, *http.Request))(w, r)
+	})
+	mux.HandleFunc("GET /v1/models", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"models":[{"name":"jag","ready":true,"methods":{}}]}`)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func newTestProxy(t *testing.T, cfg Config, backends ...*fakeBackend) (*Proxy, *httptest.Server) {
+	t.Helper()
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		urls[i] = b.srv.URL
+	}
+	p, err := New(urls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front
+}
+
+func postCall(t *testing.T, base string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/models/jag/predict",
+		strings.NewReader(`{"inputs":[[0.5]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func counterValue(p *Proxy, name string, labels metrics.Labels) uint64 {
+	return p.m.Counter(name, "", labels).Value()
+}
+
+func TestPickWeightedLeastLoaded(t *testing.T) {
+	b1, _ := newBackend("http://a:1", 4)
+	b2, _ := newBackend("http://b:2", 4)
+	p := &Proxy{backends: []*Backend{b1, b2}}
+	// b1: high capacity, some load; b2: low capacity, same load. Score
+	// (inflight+1)/capacity favors b1.
+	b1.setCapacity(1000)
+	b2.setCapacity(10)
+	b1.inflight.Store(5)
+	b2.inflight.Store(5)
+	for i := 0; i < 10; i++ {
+		if got := p.pick(map[*Backend]bool{}); got != b1 {
+			t.Fatalf("pick chose %s, want high-capacity backend %s", got.Name(), b1.Name())
+		}
+	}
+	// Load b1 far beyond its capacity advantage and the choice flips.
+	b1.inflight.Store(10_000)
+	if got := p.pick(map[*Backend]bool{}); got != b2 {
+		t.Fatalf("pick chose %s under overload, want %s", got.Name(), b2.Name())
+	}
+	// Excluding the best leaves the other.
+	if got := p.pick(map[*Backend]bool{b2: true}); got != b1 {
+		t.Fatalf("pick with exclusion chose %v, want %s", got, b1.Name())
+	}
+}
+
+func TestPickPowerOfTwoFallback(t *testing.T) {
+	// No capacities: P2C on inflight. With a 0-load and a loaded backend
+	// the 0-load one must win every draw that offers both, i.e. always
+	// (two candidates means both are always compared).
+	b1, _ := newBackend("http://a:1", 4)
+	b2, _ := newBackend("http://b:2", 4)
+	b2.inflight.Store(50)
+	p := &Proxy{backends: []*Backend{b1, b2}}
+	for i := 0; i < 20; i++ {
+		if got := p.pick(map[*Backend]bool{}); got != b1 {
+			t.Fatalf("P2C chose loaded backend %s", got.Name())
+		}
+	}
+	// Unhealthy backends are not candidates while a healthy one remains.
+	b1.healthy.Store(false)
+	if got := p.pick(map[*Backend]bool{}); got != b2 {
+		t.Fatalf("pick chose unhealthy backend")
+	}
+	// ...but with every backend down, routing falls back to untried ones
+	// rather than failing outright.
+	b2.healthy.Store(false)
+	if got := p.pick(map[*Backend]bool{}); got == nil {
+		t.Fatalf("pick returned nil with untried (if unhealthy) backends remaining")
+	}
+	if got := p.pick(map[*Backend]bool{b1: true, b2: true}); got != nil {
+		t.Fatalf("pick fabricated a backend: %v", got)
+	}
+}
+
+func TestActiveProbeDropAndReinstate(t *testing.T) {
+	f := newFakeBackend(t)
+	p, err := New([]string{f.srv.URL}, Config{FailAfter: 2, RecoverAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Backends()[0]
+	ctx := context.Background()
+
+	p.probeSweep(ctx)
+	if !b.Healthy() {
+		t.Fatal("backend unhealthy after a passing probe")
+	}
+	f.healthy.Store(false)
+	p.probeSweep(ctx)
+	if !b.Healthy() {
+		t.Fatal("one probe failure dropped the backend; FailAfter=2 requires two")
+	}
+	p.probeSweep(ctx)
+	if b.Healthy() {
+		t.Fatal("backend still healthy after FailAfter consecutive probe failures")
+	}
+	f.healthy.Store(true)
+	p.probeSweep(ctx)
+	if b.Healthy() {
+		t.Fatal("one probe success reinstated the backend; RecoverAfter=2 requires two")
+	}
+	p.probeSweep(ctx)
+	if !b.Healthy() {
+		t.Fatal("backend not reinstated after RecoverAfter consecutive probe successes")
+	}
+	down := counterValue(p, "jag_proxy_health_transitions_total", metrics.Labels{"backend": b.Name(), "to": "down"})
+	up := counterValue(p, "jag_proxy_health_transitions_total", metrics.Labels{"backend": b.Name(), "to": "up"})
+	if down != 1 || up != 1 {
+		t.Fatalf("transitions down=%d up=%d, want 1 and 1", down, up)
+	}
+}
+
+func TestRetryOnRetryableStatus(t *testing.T) {
+	bad := newFakeBackend(t)
+	good := newFakeBackend(t)
+	bad.handler.Store(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+	})
+	// Pin routing order: give bad lower load... P2C with two candidates
+	// compares both, so drive every request and require that all succeed
+	// regardless of which backend each tries first.
+	p, front := newTestProxy(t, Config{MaxRetries: 1, BreakerFails: 100}, bad, good)
+	for i := 0; i < 8; i++ {
+		resp := postCall(t, front.URL, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200 via retry", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Jag-Backend"); got == "" || !strings.Contains(good.srv.URL, got) {
+			t.Fatalf("request %d relayed from %q, want the good backend", i, got)
+		}
+	}
+	if v := counterValue(p, "jag_proxy_retries_total", nil); v == 0 {
+		t.Fatal("no retries counted despite a 503-ing backend in rotation")
+	}
+}
+
+func TestPassiveBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	bad := newFakeBackend(t)
+	good := newFakeBackend(t)
+	bad.handler.Store(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	p, front := newTestProxy(t, Config{MaxRetries: 2, BreakerFails: 2}, bad, good)
+	badB := p.Backends()[0]
+	for i := 0; i < 12 && badB.Healthy(); i++ {
+		postCall(t, front.URL, nil)
+	}
+	if badB.Healthy() {
+		t.Fatal("passive breaker never tripped a backend failing every request")
+	}
+	// 500 is not a retryable status; the winning reply may legitimately
+	// be the bad backend's when it was tried last. What matters is the
+	// breaker took it out of rotation: traffic now flows only to good.
+	before := bad.calls.Load()
+	for i := 0; i < 5; i++ {
+		resp := postCall(t, front.URL, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d after breaker isolated the bad backend", resp.StatusCode)
+		}
+	}
+	if bad.calls.Load() != before {
+		t.Fatal("tripped backend still receiving traffic")
+	}
+}
+
+func TestHedgeInteractiveOnly(t *testing.T) {
+	slow := newFakeBackend(t)
+	fast := newFakeBackend(t)
+	slow.handler.Store(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(400 * time.Millisecond)
+		fmt.Fprint(w, `{"outputs":[[1]]}`)
+	})
+	fast.handler.Store(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"outputs":[[2]]}`)
+	})
+	// Weight routing so the first pick is deterministic: the slow
+	// backend advertises far more capacity, so least-loaded prefers it.
+	p, front := newTestProxy(t, Config{HedgeDelay: 30 * time.Millisecond, MaxRetries: 1}, slow, fast)
+	p.Backends()[0].setCapacity(1000)
+	p.Backends()[1].setCapacity(1)
+
+	start := time.Now()
+	resp := postCall(t, front.URL, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if d := time.Since(start); d > 300*time.Millisecond {
+		t.Fatalf("interactive request took %v; the hedge should have answered first", d)
+	}
+	if got := counterValue(p, "jag_proxy_hedges_total", nil); got != 1 {
+		t.Fatalf("hedges_total = %d, want 1", got)
+	}
+	if got := counterValue(p, "jag_proxy_hedge_wins_total", nil); got != 1 {
+		t.Fatalf("hedge_wins_total = %d, want 1", got)
+	}
+
+	// The bulk lane never hedges: the same slow first pick must run to
+	// completion.
+	start = time.Now()
+	resp = postCall(t, front.URL, map[string]string{"X-Priority": "bulk"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk status %d", resp.StatusCode)
+	}
+	if d := time.Since(start); d < 300*time.Millisecond {
+		t.Fatalf("bulk request answered in %v; it must not hedge off the slow backend", d)
+	}
+	if got := counterValue(p, "jag_proxy_hedges_total", nil); got != 1 {
+		t.Fatalf("hedges_total = %d after bulk request, want still 1", got)
+	}
+}
+
+func TestRateLimit429WithRetryAfter(t *testing.T) {
+	f := newFakeBackend(t)
+	p, front := newTestProxy(t, Config{RatePerSec: 0.5, Burst: 1}, f)
+	if resp := postCall(t, front.URL, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d", resp.StatusCode)
+	}
+	resp := postCall(t, front.URL, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 reply missing Retry-After")
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Fatalf("429 body not the JSON error envelope: %v %q", err, body.Error)
+	}
+	if got := counterValue(p, "jag_proxy_rate_limited_total", nil); got != 1 {
+		t.Fatalf("rate_limited_total = %d, want 1", got)
+	}
+	// GET routes are exempt: health checks and dashboards must not spend
+	// the client's call budget.
+	hresp, err := http.Get(front.URL + "/healthz")
+	if err != nil || hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under rate limit: %v %v", err, hresp.Status)
+	}
+	hresp.Body.Close()
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	f := newFakeBackend(t)
+	var seen atomic.Value
+	f.handler.Store(func(w http.ResponseWriter, r *http.Request) {
+		seen.Store(r.Header.Get("X-Request-Id"))
+		fmt.Fprint(w, `{"outputs":[[1]]}`)
+	})
+	_, front := newTestProxy(t, Config{}, f)
+	resp := postCall(t, front.URL, map[string]string{"X-Request-Id": "trace-me-42"})
+	if got := resp.Header.Get("X-Request-Id"); got != "trace-me-42" {
+		t.Fatalf("echoed request id %q, want trace-me-42", got)
+	}
+	if got, _ := seen.Load().(string); got != "trace-me-42" {
+		t.Fatalf("backend saw request id %q, want trace-me-42", got)
+	}
+	// Without a caller ID the proxy mints one and still propagates it.
+	resp = postCall(t, front.URL, nil)
+	minted := resp.Header.Get("X-Request-Id")
+	if minted == "" {
+		t.Fatal("proxy did not mint a request id")
+	}
+	if got, _ := seen.Load().(string); got != minted {
+		t.Fatalf("backend saw %q, proxy echoed %q", got, minted)
+	}
+}
+
+func TestPassthroughAndFleetHealthz(t *testing.T) {
+	f := newFakeBackend(t)
+	p, front := newTestProxy(t, Config{}, f)
+	resp, err := http.Get(front.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var models struct {
+		Models []struct {
+			Name string `json:"name"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models.Models) != 1 || models.Models[0].Name != "jag" {
+		t.Fatalf("passthrough listing: %+v", models)
+	}
+
+	hresp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health FleetHealth
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Healthy != 1 {
+		t.Fatalf("fleet health %+v, want ok/1", health)
+	}
+
+	// Every backend down: fleet /healthz degrades to 503 "down".
+	p.Backends()[0].healthy.Store(false)
+	hresp2, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp2.Body.Close()
+	if hresp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-down healthz status %d, want 503", hresp2.StatusCode)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	f := newFakeBackend(t)
+	_, front := newTestProxy(t, Config{}, f)
+	postCall(t, front.URL, nil)
+	resp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"jag_proxy_requests_total{",
+		"jag_proxy_request_latency_seconds_bucket{",
+		"jag_proxy_backend_healthy{",
+		"jag_proxy_backend_inflight{",
+		"jag_proxy_backend_capacity_qps{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package proxy
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-client token-bucket rate limiting for the call routes. One bucket
+// per client IP: tokens refill at rate per second up to burst, each
+// admitted request spends one. A drained bucket answers 429 with a
+// Retry-After telling the client exactly when the next token lands —
+// graceful backpressure instead of a silent queue.
+
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from key's bucket. When the bucket is dry it
+// reports false and how long until one token will have refilled.
+func (l *rateLimiter) allow(key string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / l.rate * float64(time.Second))
+}
+
+// sweep drops buckets that have been idle long enough to refill
+// completely — they are indistinguishable from fresh ones, so keeping
+// them only leaks memory across one-shot clients.
+func (l *rateLimiter) sweep(now time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for key, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, key)
+		}
+	}
+}

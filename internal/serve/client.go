@@ -10,7 +10,70 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
+
+// StatusError is the typed form of a whole-request HTTP failure from a
+// serving backend: a non-2xx reply, or a reply that died mid-body. It
+// lets callers — the jagproxy retry loop above all — branch on the
+// status class with errors.As instead of parsing error strings, and
+// carries the server's Retry-After hint when backpressure set one.
+type StatusError struct {
+	// Code is the HTTP status of the failed reply. A reply that broke
+	// mid-body (connection drop, truncated frame) is reported as
+	// http.StatusBadGateway: the request may never have reached a
+	// forward pass, so it is safe to retry elsewhere.
+	Code int
+	// RetryAfter is the server's Retry-After hint, 0 when absent.
+	RetryAfter time.Duration
+	// Detail is the server-supplied error detail, "" for opaque bodies.
+	Detail string
+}
+
+// Error renders the same text errorBody produced before this type
+// existed, so messages stay stable for humans and string-matching tests.
+func (e *StatusError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%s (HTTP %d)", e.Detail, e.Code)
+	}
+	return fmt.Sprintf("HTTP %d", e.Code)
+}
+
+// Retryable reports whether the failure says "not now" rather than
+// "never": the request itself was acceptable but this replica could not
+// serve it, so repeating it — ideally against another replica — can
+// succeed. Hard 4xx (unknown model, malformed body) stay non-retryable.
+func (e *StatusError) Retryable() bool { return RetryableStatus(e.Code) }
+
+// RetryableStatus reports whether an HTTP status from a serving backend
+// is worth retrying: 429 (rate limited), 502 (broken reply), 503
+// (shedding or draining), 504 (deadline passed in queue).
+func RetryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// statusError builds the typed error for a failed reply, folding in the
+// JSON {"error": ...} detail and the Retry-After hint when present.
+func statusError(resp *http.Response, raw []byte) *StatusError {
+	e := &StatusError{Code: resp.StatusCode}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
+		e.Detail = body.Error
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec >= 0 {
+			e.RetryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	return e
+}
 
 // Client is a small Go client for the v1 serving API — the in-process
 // counterpart of cmd/jagserve's HTTP surface, sharing the wire.go frame
@@ -108,19 +171,24 @@ func (c *Client) Call(ctx context.Context, model, method string, inputs [][]floa
 	if strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeTensor) {
 		rows, err := DecodeFrame(resp.Body, 0, len(inputs))
 		if err != nil {
-			return nil, nil, err
+			// A frame that stops mid-body is a broken reply, not a model
+			// verdict: type it 502 so retry loops treat it like any other
+			// transient replica failure.
+			return nil, nil, fmt.Errorf("serve: %s %s: %w", model, method,
+				&StatusError{Code: http.StatusBadGateway, Detail: "broken reply: " + err.Error()})
 		}
 		return rows, nil, nil
 	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("serve: %s %s: %w", model, method,
+			&StatusError{Code: http.StatusBadGateway, Detail: "broken reply: " + err.Error()})
 	}
 	var pr PredictResponse
 	if jsonErr := json.Unmarshal(raw, &pr); jsonErr == nil && (resp.StatusCode == http.StatusOK || pr.Errors != nil) {
 		return pr.Outputs, pr.Errors, nil
 	}
-	return nil, nil, fmt.Errorf("serve: %s %s: %s", model, method, errorBody(resp.StatusCode, raw))
+	return nil, nil, fmt.Errorf("serve: %s %s: %w", model, method, statusError(resp, raw))
 }
 
 // getJSON performs one GET and decodes the JSON reply into v.
@@ -139,19 +207,7 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("serve: GET %s: %s", path, errorBody(resp.StatusCode, raw))
+		return fmt.Errorf("serve: GET %s: %w", path, statusError(resp, raw))
 	}
 	return json.Unmarshal(raw, v)
-}
-
-// errorBody renders a failed reply for error messages, preferring the
-// server's JSON {"error": ...} detail over the raw status.
-func errorBody(status int, raw []byte) string {
-	var e struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-		return fmt.Sprintf("%s (HTTP %d)", e.Error, status)
-	}
-	return fmt.Sprintf("HTTP %d", status)
 }

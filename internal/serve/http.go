@@ -113,6 +113,11 @@ type ModelStats struct {
 	// means swaps are outpacing the slowest callers — raise the drain
 	// deadline or put deadlines on the slow requests.
 	ForcedCloses int64 `json:"forced_closes"`
+	// CapacityQPS is the probed sustainable row rate published by
+	// Server.SetCapacityQPS (jagserve -probe), 0 when never probed.
+	// A fleet router reads it to weight least-loaded routing; it
+	// resets to 0 when a hot swap installs an unprobed generation.
+	CapacityQPS float64 `json:"capacity_qps,omitempty"`
 }
 
 // ModelsResponse is the GET /v1/models JSON reply.
@@ -254,7 +259,7 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 		}
 		gen := reg.Generation(name)
 		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1,
-			ForcedCloses: reg.ForcedCloses(name)})
+			ForcedCloses: reg.ForcedCloses(name), CapacityQPS: s.CapacityQPS()})
 	})
 	mux.Handle("GET /metrics", MetricsHandler(reg))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -305,7 +310,7 @@ func NewRegistryHandler(reg *Registry, hc HandlerConfig) http.Handler {
 		}
 		gen := reg.Generation(name)
 		writeJSON(w, ModelStats{StatsSnapshot: s.Stats(), Generation: gen, Reloads: gen - 1,
-			ForcedCloses: reg.ForcedCloses(name)})
+			ForcedCloses: reg.ForcedCloses(name), CapacityQPS: s.CapacityQPS()})
 	})
 	return withObservability(mux, hc.AccessLog)
 }

@@ -31,6 +31,7 @@ import (
 //	jag_queue_depth                         in-flight rows (live gauge)
 //	jag_lane_depth{lane}                    queued rows per priority lane
 //	jag_mean_batch                          mean rows per forward pass
+//	jag_capacity_qps                        probed sustainable rows/s (0 until probed)
 //	jag_model_ready                         1 while serving, 0 once closed
 //	jag_generation                          hot-swap generation (1 = never swapped)
 //	jag_reloads_total                       completed hot swaps
@@ -98,6 +99,8 @@ func collectModel(m *metrics.Registry, reg *Registry, name string, s *Server) {
 			metrics.Labels{"model": name, "lane": lane}).Set(float64(depth))
 	}
 	m.Gauge("jag_mean_batch", "Mean rows per forward pass.", l).Set(snap.MeanBatch)
+	m.Gauge("jag_capacity_qps", "Probed sustainable row rate (rows/s), 0 until probed.", l).
+		Set(s.CapacityQPS())
 	ready := 1.0
 	if s.Closed() {
 		ready = 0

@@ -43,6 +43,22 @@ type ProbeResult struct {
 // Cost returns the modeled duration of one forward pass of b rows.
 func (p ProbeResult) Cost(b int) float64 { return p.PassSec + float64(b)*p.RowSec }
 
+// QPS returns the sustainable row throughput the fit implies for a
+// server flushing full batches of maxBatch rows across workers parallel
+// execution units: workers·B/t(B). It is the number jagserve -probe
+// publishes via Server.SetCapacityQPS for fleet routing, and matches
+// perfmodel.ServingScenario.MaxQPS at zero cache hit rate.
+func (p ProbeResult) QPS(maxBatch, workers int) float64 {
+	if maxBatch < 1 || workers < 1 {
+		return 0
+	}
+	c := p.Cost(maxBatch)
+	if c <= 0 {
+		return 0
+	}
+	return float64(workers) * float64(maxBatch) / c
+}
+
 // One batch size's timing loop runs at least probeMinReps passes and
 // keeps sampling until probeBudget has elapsed, so a fast model gets
 // many samples behind its minimum while probing a slow model stays

@@ -282,6 +282,9 @@ type Server struct {
 	queues   map[string]*methodQueue
 	batches  chan *batch
 	inflight atomic.Int64
+	// capacity holds the float64 bits of the probed sustainable row
+	// rate (rows/s); 0 until SetCapacityQPS publishes a probe result.
+	capacity atomic.Uint64
 
 	loops  sync.WaitGroup // one batchLoop per method
 	mu     sync.RWMutex   // guards closed vs in-progress queue sends
@@ -732,6 +735,22 @@ func (s *Server) workerLoop() {
 
 // Stats returns a consistent snapshot of the serving counters.
 func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// SetCapacityQPS publishes the server's probed sustainable throughput
+// in rows per second — typically ProbeResult.QPS from a startup
+// CostProbe. It surfaces on the stats route as capacity_qps and on
+// /metrics as jag_capacity_qps, where a fleet router (cmd/jagproxy)
+// reads it to weight its routing. Zero means "not probed".
+func (s *Server) SetCapacityQPS(qps float64) {
+	if qps < 0 || math.IsNaN(qps) || math.IsInf(qps, 0) {
+		qps = 0
+	}
+	s.capacity.Store(math.Float64bits(qps))
+}
+
+// CapacityQPS returns the probed sustainable row rate, 0 until a probe
+// published one via SetCapacityQPS.
+func (s *Server) CapacityQPS() float64 { return math.Float64frombits(s.capacity.Load()) }
 
 // Close drains the pipeline and releases the batch loops and workers.
 // In-flight requests complete (stale ones are still dropped at flush);
